@@ -1,0 +1,45 @@
+"""Figure 3: the attacker-subset analysis matrix, by simulation.
+
+Runs all 16 attacker subsets against all four schemes and prints the
+matrix in the paper's layout.  The benchmark measures one representative
+scenario evaluation; the full sweep happens once in a fixture.
+"""
+
+import pytest
+
+from repro.analysis import (
+    AttackerCapabilities,
+    all_subsets,
+    evaluate_scheme,
+    format_matrix,
+    run_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_matrix()
+
+
+def test_scenario_evaluation(benchmark):
+    caps = AttackerCapabilities(legacy_dns=True, dnssec=True)
+    outcome = benchmark.pedantic(
+        lambda: evaluate_scheme("NOPE", caps), rounds=2, iterations=1
+    )
+    assert outcome.impersonated
+
+
+def test_zz_print_matrix(benchmark, matrix):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n== Figure 3: attacker analysis (simulated) ==")
+    print(format_matrix(matrix))
+    # the headline property: NOPE is impersonated only when both a
+    # certificate path AND DNSSEC are compromised
+    for caps in all_subsets():
+        nope = matrix[(caps.label(), "NOPE")]
+        expected = caps.dnssec and (caps.legacy_dns or caps.ca)
+        assert nope.impersonated == expected, caps.label()
+        dv = matrix[(caps.label(), "DV")]
+        assert dv.impersonated == (caps.legacy_dns or caps.ca)
+        dce = matrix[(caps.label(), "DCE")]
+        assert dce.impersonated == caps.dnssec

@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark suite.
+
+``groth16_world`` runs the expensive pure-Python trusted setup once per
+session (depth-1 toy statement, ~20k constraints) and is shared by the
+Figure 4 and Figure 5 benches, which need *real* proofs and verifications.
+"""
+
+import pytest
+
+from repro.ca import AcmeServer, CertificationAuthority, CtLog, PlainDnsView
+from repro.clock import DAY, SimClock
+from repro.core import NopeClient, NopeProver, PinStore
+from repro.ec import TOY29
+from repro.profiles import TOY, build_hierarchy
+from repro.sig import EcdsaPrivateKey
+
+
+@pytest.fixture(scope="session")
+def groth16_world():
+    clock = SimClock()
+    hierarchy = build_hierarchy(
+        TOY,
+        ["nope-tools"],
+        inception=clock.now() - DAY,
+        expiration=clock.now() + 365 * DAY,
+    )
+    logs = [CtLog("log-a", clock), CtLog("log-b", clock)]
+    ca = CertificationAuthority("Repro Encrypt", clock, logs, TOY29)
+    acme = AcmeServer(ca, PlainDnsView(hierarchy), clock)
+    prover = NopeProver(TOY, hierarchy, "nope-tools", backend="groth16")
+    prover.trusted_setup()
+    tls_key = EcdsaPrivateKey.generate(TOY29)
+    chain, timeline = prover.obtain_certificate(acme, tls_key, clock)
+    client = NopeClient(
+        TOY,
+        ca.trust_anchors(),
+        root_zsk_dnskey=prover.root_zsk_dnskey(),
+        backend=prover.backend,
+        pin_store=PinStore(),
+    )
+    client.register_statement(prover.statement, prover.keys)
+    legacy_client = NopeClient(TOY, ca.trust_anchors(), nope_aware=False)
+    return {
+        "clock": clock,
+        "hierarchy": hierarchy,
+        "ca": ca,
+        "acme": acme,
+        "prover": prover,
+        "tls_key": tls_key,
+        "chain": chain,
+        "timeline": timeline,
+        "client": client,
+        "legacy_client": legacy_client,
+    }

@@ -1,0 +1,3 @@
+"""NOPE (SOSP '24) reproduction: domain authentication with succinct proofs."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,30 @@
+"""Security analysis: the Figure 3 attacker-subset simulation."""
+
+from .attackers import AttackerCapabilities, all_subsets
+from .scenarios import (
+    DETECT_FAST,
+    DETECT_NEVER,
+    DETECT_SLOW,
+    NOT_APPLICABLE,
+    SCHEMES,
+    SchemeOutcome,
+    ScenarioWorld,
+    evaluate_scheme,
+    format_matrix,
+    run_matrix,
+)
+
+__all__ = [
+    "AttackerCapabilities",
+    "all_subsets",
+    "evaluate_scheme",
+    "run_matrix",
+    "format_matrix",
+    "ScenarioWorld",
+    "SchemeOutcome",
+    "SCHEMES",
+    "DETECT_FAST",
+    "DETECT_SLOW",
+    "DETECT_NEVER",
+    "NOT_APPLICABLE",
+]

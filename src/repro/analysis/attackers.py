@@ -1,0 +1,56 @@
+"""Attacker model (paper §3.1): capability subsets and their application.
+
+Four orthogonal capabilities; Figure 3 sweeps all 16 subsets:
+
+* ``legacy_dns`` — tamper with DNS resolution *between the CA and the
+  target domain* (poisoning/spoofing); defeats plain DV.
+* ``ca``         — obtain signatures from a CA on arbitrary certificates,
+  backdate them, and suppress revocation.
+* ``ct``         — obtain SCTs from a log without the entry being merged.
+* ``dnssec``     — compromise DNSSEC key material for the target domain
+  (and, transitively, produce valid signatures/chains for it).
+"""
+
+import itertools
+
+
+class AttackerCapabilities:
+    __slots__ = ("legacy_dns", "ca", "ct", "dnssec")
+
+    def __init__(self, legacy_dns=False, ca=False, ct=False, dnssec=False):
+        self.legacy_dns = legacy_dns
+        self.ca = ca
+        self.ct = ct
+        self.dnssec = dnssec
+
+    def __repr__(self):
+        parts = [
+            name
+            for name in ("legacy_dns", "ca", "ct", "dnssec")
+            if getattr(self, name)
+        ]
+        return "Attackers(%s)" % ("+".join(parts) or "none")
+
+    def label(self):
+        marks = []
+        for name, sym in (
+            ("legacy_dns", "DNS"),
+            ("ca", "CA"),
+            ("ct", "CT"),
+            ("dnssec", "DNSSEC"),
+        ):
+            marks.append(sym if getattr(self, name) else "-")
+        return "/".join(marks)
+
+
+def all_subsets():
+    """The 16 rows of Figure 3, in the paper's order (legacy-DNS fastest)."""
+    rows = []
+    for dnssec, ct in itertools.product((False, True), repeat=2):
+        for ca, legacy in itertools.product((False, True), repeat=2):
+            rows.append(
+                AttackerCapabilities(
+                    legacy_dns=legacy, ca=ca, ct=ct, dnssec=dnssec
+                )
+            )
+    return rows

@@ -1,0 +1,356 @@
+"""The Figure 3 matrix, produced by protocol simulation (not table lookup).
+
+For each attacker subset and each scheme (DV, DV+, DCE, NOPE) the simulator
+builds a fresh world (signed DNSSEC hierarchy, CA with CT logs and OCSP, a
+victim domain with honest credentials), lets the attacker exercise its
+capabilities to obtain rogue credentials for an attacker-controlled TLS
+key, and then asks three questions by *running the verifiers*:
+
+* Domain Impersonated — does the appropriate client accept the attacker's
+  credentials?
+* Time to Detect — after advancing the clock past the CT maximum merge
+  delay, does the owner's CT monitor surface the rogue artifact
+  ("<=24h"), does evidence exist but outside the logs (">24h", the CT-
+  attacker case), or does no publicly auditable artifact exist at all
+  ("never", the DCE case)?
+* Can be Revoked — does the owner's revocation request actually take
+  effect at the CA?
+"""
+
+import copy
+
+from ..ca import (
+    AcmeServer,
+    CertificationAuthority,
+    CtLog,
+    HierarchyTransport,
+    PlainDnsView,
+    TamperedTransport,
+    ValidatingDnsView,
+    challenge_txt_value,
+    make_txt_rrset,
+)
+from ..clock import DAY, SimClock
+from ..core import DceClient, DceServer, NopeClient, NopeProver, PinStore
+from ..dns.dnssec import sign_rrset
+from ..dns.name import DomainName
+from ..dns.records import TYPE_TLSA, TlsaData
+from ..dns.rrset import RRset
+from ..errors import RevocationError, ReproError
+from ..profiles import TOY, build_hierarchy
+from ..sig.ecdsa import EcdsaPrivateKey
+from .attackers import AttackerCapabilities, all_subsets
+
+SCHEMES = ("DV", "DV+", "DCE", "NOPE")
+
+DETECT_FAST = "<=24h"
+DETECT_SLOW = ">24h"
+DETECT_NEVER = "never"
+NOT_APPLICABLE = "-"
+
+
+class SchemeOutcome:
+    __slots__ = ("impersonated", "detect", "revocable")
+
+    def __init__(self, impersonated, detect, revocable):
+        self.impersonated = impersonated
+        self.detect = detect
+        self.revocable = revocable
+
+    def __repr__(self):
+        return "Outcome(imp=%s detect=%s revoke=%s)" % (
+            self.impersonated,
+            self.detect,
+            self.revocable,
+        )
+
+
+class _SharedBase:
+    """The hierarchy and statement setup are expensive; share across
+    scenarios (the S_NOPE structure bakes the root key, so the hierarchy
+    and the statement keys must come as a matched pair).  Each scenario
+    gets a deep copy of the hierarchy so attacker mutations stay isolated."""
+
+    _cache = {}
+
+    @classmethod
+    def get(cls, domain_text):
+        if domain_text not in cls._cache:
+            clock = SimClock()
+            hierarchy = build_hierarchy(
+                TOY, [domain_text], inception=clock.now() - DAY,
+                expiration=clock.now() + 365 * DAY,
+            )
+            prover = NopeProver(TOY, hierarchy, domain_text, backend="simulation")
+            prover.trusted_setup()
+            cls._cache[domain_text] = (hierarchy, prover.statement, prover.keys)
+        return cls._cache[domain_text]
+
+
+class ScenarioWorld:
+    """One isolated world: hierarchy, CA, logs, a victim domain."""
+
+    def __init__(self, domain_text="victim.example", scheme="NOPE"):
+        self.domain_text = domain_text
+        self.domain = DomainName.parse(domain_text)
+        self.scheme = scheme
+        self.clock = SimClock()
+        base_hierarchy, statement, keys = _SharedBase.get(domain_text)
+        self.hierarchy = copy.deepcopy(base_hierarchy)
+        self.statement, self.keys = statement, keys
+        self.logs = [CtLog("log-a", self.clock), CtLog("log-b", self.clock)]
+        self.ca = CertificationAuthority(
+            "Repro Encrypt", self.clock, self.logs, TOY.curve
+        )
+        self.root_zsk = self.hierarchy.root.zsk.dnskey()
+        if scheme == "DV+":
+            view = ValidatingDnsView(self.hierarchy, self.root_zsk)
+        else:
+            view = PlainDnsView(self.hierarchy)
+        self.base_view = view
+        self.acme = AcmeServer(self.ca, view, self.clock)
+        self.owner_tls_key = EcdsaPrivateKey.generate(TOY.curve)
+        self.attacker_tls_key = EcdsaPrivateKey.generate(TOY.curve)
+        self.zone = self.hierarchy.zones[self.domain]
+
+    # -- attack execution -------------------------------------------------------
+
+    def apply(self, caps):
+        if caps.ca:
+            self.ca.compromised = True
+            self.ca.ocsp.suppress_revocations = True
+        if caps.ct:
+            for log in self.logs:
+                log.compromised = True
+                log.withhold_entries = True
+
+    def attacker_obtains_certificate(self, caps, sans_extra=()):
+        """Try every capability avenue; returns a chain or None."""
+        spki_key = self.attacker_tls_key.public_key
+        from ..x509.cert import SubjectPublicKeyInfo
+
+        spki = SubjectPublicKeyInfo(spki_key)
+        if caps.ca:
+            return self.ca.issue_rogue(
+                self.domain_text, spki, [self.domain_text] + list(sans_extra)
+            )
+        if caps.legacy_dns:
+            order = self.acme.new_order(self.domain_text)
+            name = self.acme.challenge_name(order)
+            forged = make_txt_rrset(name, [challenge_txt_value(order.token)])
+            if caps.dnssec:
+                # with stolen zone keys the forged record carries a *valid*
+                # RRSIG, so even a validating (DV+) resolver accepts it
+                sign_rrset(
+                    forged,
+                    self.zone.name,
+                    self.zone.zsk,
+                    self.clock.now() - 60,
+                    self.clock.now() + 30 * DAY,
+                )
+            original_transport = self.base_view.transport
+            self.base_view.transport = TamperedTransport(
+                HierarchyTransport(self.hierarchy),
+                {name: forged},
+            )
+            try:
+                self.acme.validate(order.order_id)
+            except ReproError:
+                return None
+            finally:
+                self.base_view.transport = original_transport
+            from ..x509.csr import CertificateRequest
+
+            csr = CertificateRequest.build(
+                self.domain_text,
+                spki_key,
+                [self.domain_text] + list(sans_extra),
+            ).sign(self.attacker_tls_key)
+            try:
+                return self.acme.finalize(order.order_id, csr)
+            except ReproError:
+                return None
+        return None
+
+    def attacker_nope_proof_sans(self, caps, not_before):
+        """A DNSSEC attacker can produce a real NOPE proof for its key."""
+        if not caps.dnssec:
+            return None
+        prover = NopeProver(TOY, self.hierarchy, self.domain_text, backend="simulation")
+        prover.keys = self.keys
+        prover.statement = self.statement
+        prover.shape = self.statement.shape
+        from ..core.common import input_digest
+        from ..x509.cert import SubjectPublicKeyInfo
+        from ..x509.san import encode_proof_sans
+
+        tls_bytes = SubjectPublicKeyInfo(
+            self.attacker_tls_key.public_key
+        ).raw_key_bytes()
+        proof, _ts = prover.generate_proof(
+            tls_bytes, self.ca.org_name, ts=not_before
+        )
+        return encode_proof_sans(proof, self.domain_text)
+
+    def attacker_dce_chain(self, caps):
+        """A DNSSEC attacker re-signs a TLSA for its own key."""
+        if not caps.dnssec:
+            return None
+        tls_bytes = self.attacker_tls_key.public_key.encode()
+        tlsa_name = self.domain.child(b"_tcp").child(b"_443")
+        rrset = RRset(
+            tlsa_name, TYPE_TLSA, 300, [TlsaData(tls_bytes).to_bytes()]
+        )
+        sign_rrset(
+            rrset,
+            self.zone.name,
+            self.zone.zsk,
+            self.clock.now() - 60,
+            self.clock.now() + 30 * DAY,
+        )
+        self.zone.add_rrset(rrset)
+        chain = self.hierarchy.fetch_chain(self.domain, for_dce=True)
+        return tls_bytes, chain
+
+
+def evaluate_scheme(scheme, caps, domain_text="victim.example"):
+    """Run one (scheme, attacker-subset) cell of Figure 3."""
+    world = ScenarioWorld(domain_text, scheme)
+    world.apply(caps)
+    clock = world.clock
+
+    if scheme == "DCE":
+        return _evaluate_dce(world, caps)
+
+    # build the appropriate client
+    if scheme == "NOPE":
+        client = NopeClient(
+            TOY,
+            world.ca.trust_anchors(),
+            root_zsk_dnskey=world.root_zsk,
+            backend=NopeProver(
+                TOY, world.hierarchy, domain_text, backend="simulation"
+            ).backend,
+            pin_store=PinStore(preloaded=[domain_text]),
+        )
+        client.register_statement(world.statement, world.keys)
+    else:
+        client = NopeClient(
+            TOY, world.ca.trust_anchors(), nope_aware=False
+        )
+
+    # the attack
+    not_before = clock.now()
+    sans_extra = ()
+    if scheme == "NOPE":
+        nope_sans = world.attacker_nope_proof_sans(caps, not_before)
+        if nope_sans:
+            sans_extra = tuple(nope_sans)
+    chain = world.attacker_obtains_certificate(caps, sans_extra)
+    impersonated = False
+    if chain is not None:
+        try:
+            client.verify_server(
+                domain_text, chain, clock.now(), ocsp_responder=world.ca.ocsp
+            )
+            impersonated = True
+        except ReproError:
+            impersonated = False
+
+    # detection: the owner's CT monitor after the MMD
+    if not impersonated:
+        detect = NOT_APPLICABLE
+    else:
+        clock.advance(DAY)
+        found = any(
+            log.entries_for_domain(domain_text) for log in world.logs
+        )
+        detect = DETECT_FAST if found else DETECT_SLOW
+
+    # revocation: the owner asks the CA to revoke the rogue serial (or, if
+    # there is none, we still probe whether the scheme's revocation works)
+    serial = chain[0].serial if chain else _issue_honest_probe(world)
+    try:
+        world.ca.revoke(serial)
+        revocable = True
+    except RevocationError:
+        revocable = False
+    return SchemeOutcome(impersonated, detect, revocable)
+
+
+def _issue_honest_probe(world):
+    """Issue an honest certificate so revocability can be probed."""
+    from ..x509.cert import SubjectPublicKeyInfo
+
+    was = world.ca.compromised
+    world.ca.compromised = False
+    chain = world.ca.issue(
+        world.domain_text,
+        SubjectPublicKeyInfo(world.owner_tls_key.public_key),
+        [world.domain_text],
+    )
+    world.ca.compromised = was
+    return chain[0].serial
+
+
+def _evaluate_dce(world, caps):
+    clock = world.clock
+    dce_client = DceClient(world.root_zsk)
+    payload = world.attacker_dce_chain(caps)
+    impersonated = False
+    if payload is not None:
+        tls_bytes, chain = payload
+        try:
+            dce_client.verify_server(tls_bytes, chain, now=clock.now())
+            impersonated = True
+        except ReproError:
+            impersonated = False
+    # DCE produces no certificate and has no log: nothing to detect, and
+    # signed records stay valid until they expire
+    detect = DETECT_NEVER if impersonated else NOT_APPLICABLE
+    return SchemeOutcome(impersonated, detect, False)
+
+
+def run_matrix(domain_text="victim.example", subsets=None, schemes=SCHEMES):
+    """The full Figure 3 matrix: {(caps.label(), scheme): SchemeOutcome}."""
+    results = {}
+    for caps in subsets or all_subsets():
+        for scheme in schemes:
+            results[(caps.label(), scheme)] = evaluate_scheme(
+                scheme, caps, domain_text
+            )
+    return results
+
+
+def format_matrix(results, schemes=SCHEMES):
+    """Render the matrix as the paper's Figure 3 layout."""
+    rows = []
+    header = (
+        "%-22s | " % "Attackers"
+        + " ".join("%-5s" % s for s in schemes)
+        + " | "
+        + " ".join("%-7s" % s for s in schemes)
+        + " | "
+        + " ".join("%-5s" % s for s in schemes)
+    )
+    rows.append("%-22s | %-23s | %-31s | %s" % ("", "Impersonated", "Time to Detect", "Revocable"))
+    rows.append(header)
+    rows.append("-" * len(header))
+    seen_labels = []
+    for (label, _), _ in results.items():
+        if label not in seen_labels:
+            seen_labels.append(label)
+    for label in seen_labels:
+        imp = " ".join(
+            "%-5s" % ("Yes" if results[(label, s)].impersonated else "No")
+            for s in schemes
+        )
+        det = " ".join(
+            "%-7s" % results[(label, s)].detect for s in schemes
+        )
+        rev = " ".join(
+            "%-5s" % ("Yes" if results[(label, s)].revocable else "No")
+            for s in schemes
+        )
+        rows.append("%-22s | %s | %s | %s" % (label, imp, det, rev))
+    return "\n".join(rows)

@@ -1,0 +1,53 @@
+"""The CA ecosystem: issuance, ACME DV, CT logs, OCSP, CRLs."""
+
+from .acme import (
+    AcmeServer,
+    DNS_PROPAGATION_DELAY,
+    HierarchyTransport,
+    Order,
+    PlainDnsView,
+    TamperedDnsView,
+    TamperedTransport,
+    ValidatingDnsView,
+    challenge_txt_value,
+    make_txt_rrset,
+    respond_to_challenge,
+)
+from .authority import CertificationAuthority, DEFAULT_LIFETIME
+from .crl import CrlDistributor, DEFAULT_PUBLICATION_DELAY
+from .ct import CtLog, MerkleTree, SignedCertificateTimestamp
+from .ocsp import (
+    DEFAULT_VALIDITY,
+    OcspResponder,
+    OcspResponse,
+    STATUS_GOOD,
+    STATUS_REVOKED,
+    STATUS_UNKNOWN,
+)
+
+__all__ = [
+    "CertificationAuthority",
+    "DEFAULT_LIFETIME",
+    "AcmeServer",
+    "Order",
+    "PlainDnsView",
+    "ValidatingDnsView",
+    "TamperedDnsView",
+    "TamperedTransport",
+    "HierarchyTransport",
+    "make_txt_rrset",
+    "challenge_txt_value",
+    "respond_to_challenge",
+    "DNS_PROPAGATION_DELAY",
+    "CtLog",
+    "MerkleTree",
+    "SignedCertificateTimestamp",
+    "OcspResponder",
+    "OcspResponse",
+    "STATUS_GOOD",
+    "STATUS_REVOKED",
+    "STATUS_UNKNOWN",
+    "DEFAULT_VALIDITY",
+    "CrlDistributor",
+    "DEFAULT_PUBLICATION_DELAY",
+]

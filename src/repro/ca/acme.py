@@ -1,0 +1,222 @@
+"""ACME with DNS-01 domain validation (RFC 8555 mechanics, simplified).
+
+The CA's view of DNS is pluggable because it is exactly where the paper's
+*legacy DNS attacker* strikes (§3.1): a :class:`PlainDnsView` resolves TXT
+records without authentication (today's DV), a :class:`ValidatingDnsView`
+additionally demands a valid DNSSEC chain (the DV+ baseline of §3.3), and
+:class:`TamperedDnsView` wraps either with attacker-controlled overrides.
+"""
+
+import hashlib
+import secrets
+
+from ..dns.dnssec import verify_rrset
+from ..dns.name import DomainName
+from ..dns.records import DnskeyData, TYPE_TXT, TxtData
+from ..errors import AcmeError, DnssecError
+from ..x509.san import is_nope_san
+
+#: default seconds between posting a DNS record and the CA observing it
+#: (Certbot's default propagation wait; §8.2)
+DNS_PROPAGATION_DELAY = 30
+
+
+class HierarchyTransport:
+    """The honest network path: answers come from the real hierarchy."""
+
+    def __init__(self, hierarchy):
+        self.hierarchy = hierarchy
+
+    def fetch_txt_rrset(self, name):
+        try:
+            return self.hierarchy.lookup(name, TYPE_TXT)
+        except DnssecError:
+            return None
+
+
+class TamperedTransport:
+    """A legacy-DNS attacker on the path between the CA and the domain.
+
+    Overrides TXT *RRsets* for chosen names.  The attacker controls bytes
+    on the wire but cannot forge DNSSEC signatures: unless it separately
+    holds zone keys (the DNSSEC attacker) and signs the planted RRset, a
+    validating resolver will reject the tampered answer.
+    """
+
+    def __init__(self, base_transport, overrides):
+        self.base_transport = base_transport
+        self.overrides = {}
+        for name, rrset in overrides.items():
+            key = DomainName.parse(name) if isinstance(name, str) else name
+            self.overrides[key] = rrset
+
+    def fetch_txt_rrset(self, name):
+        if isinstance(name, str):
+            name = DomainName.parse(name)
+        if name in self.overrides:
+            return self.overrides[name]
+        return self.base_transport.fetch_txt_rrset(name)
+
+
+def make_txt_rrset(name, strings):
+    """Build an (unsigned) TXT RRset, e.g. for a tampering attacker."""
+    from ..dns.rrset import RRset
+
+    if isinstance(name, str):
+        name = DomainName.parse(name)
+    return RRset(name, TYPE_TXT, 300, [TxtData(strings).to_bytes()])
+
+
+class PlainDnsView:
+    """Unauthenticated resolution — what legacy DV actually trusts."""
+
+    def __init__(self, hierarchy_or_transport):
+        if hasattr(hierarchy_or_transport, "fetch_txt_rrset"):
+            self.transport = hierarchy_or_transport
+        else:
+            self.transport = HierarchyTransport(hierarchy_or_transport)
+
+    def lookup_txt(self, name):
+        if isinstance(name, str):
+            name = DomainName.parse(name)
+        rrset = self.transport.fetch_txt_rrset(name)
+        if rrset is None:
+            return []
+        strings = []
+        for rdata in rrset.rdatas:
+            strings.extend(TxtData.from_bytes(rdata).strings)
+        return strings
+
+
+class ValidatingDnsView(PlainDnsView):
+    """DV+: TXT answers must carry valid DNSSEC signatures chained to the
+    root — tampered-on-the-wire answers without valid RRSIGs are rejected."""
+
+    def __init__(self, hierarchy, trusted_root_zsk, transport=None):
+        super().__init__(transport or hierarchy)
+        self.hierarchy = hierarchy
+        self.trusted_root_zsk = trusted_root_zsk
+
+    def lookup_txt(self, name):
+        if isinstance(name, str):
+            name = DomainName.parse(name)
+        rrset = self.transport.fetch_txt_rrset(name)
+        if rrset is None:
+            return []
+        # the *received* RRset must verify under its zone's ZSK, whose keys
+        # must chain to the trusted root
+        zone = self.hierarchy.zone_for(name)
+        from ..dns.resolver import validate_chain
+
+        if zone.name.is_root:
+            zsks = [self.trusted_root_zsk]
+        else:
+            chain = self.hierarchy.fetch_chain(zone.name, for_dce=True)
+            validate_chain(chain, self.trusted_root_zsk)
+            zsks = [k for k in zone.dnskey_datas() if k.is_zsk]
+        verify_rrset(rrset, zsks)
+        strings = []
+        for rdata in rrset.rdatas:
+            strings.extend(TxtData.from_bytes(rdata).strings)
+        return strings
+
+
+#: backwards-compatible alias used by the analysis layer
+TamperedDnsView = TamperedTransport
+
+
+class Order:
+    """One ACME order: a domain, a challenge token, and its lifecycle."""
+
+    STATUS_PENDING = "pending"
+    STATUS_READY = "ready"
+    STATUS_VALID = "valid"
+    STATUS_INVALID = "invalid"
+
+    def __init__(self, order_id, domain, token, created_at):
+        self.order_id = order_id
+        self.domain = domain
+        self.token = token
+        self.created_at = created_at
+        self.status = Order.STATUS_PENDING
+        self.validated_at = None
+
+
+def challenge_txt_value(token, account_key_thumbprint=b""):
+    """The TXT value DNS-01 expects (hash of token || thumbprint)."""
+    return hashlib.sha256(token + account_key_thumbprint).hexdigest().encode()
+
+
+class AcmeServer:
+    """The DV front-end of a CA (RFC 8555's new-order/challenge/finalize)."""
+
+    def __init__(self, ca, dns_view, clock, validation_latency=2):
+        self.ca = ca
+        self.dns_view = dns_view
+        self.clock = clock
+        self.validation_latency = validation_latency
+        self.orders = {}
+
+    def new_order(self, domain):
+        """Figure 2 step 3: request challenges for a domain."""
+        order = Order(
+            order_id=secrets.token_hex(8),
+            domain=domain.rstrip("."),
+            token=secrets.token_bytes(16),
+            created_at=self.clock.now(),
+        )
+        self.orders[order.order_id] = order
+        return order
+
+    def challenge_name(self, order):
+        return "_acme-challenge." + order.domain
+
+    def validate(self, order_id):
+        """Figure 2 step 5: the CA checks the DNS-01 challenge."""
+        order = self.orders.get(order_id)
+        if order is None:
+            raise AcmeError("unknown order")
+        self.clock.advance(self.validation_latency)
+        expected = challenge_txt_value(order.token)
+        answers = self.dns_view.lookup_txt(self.challenge_name(order))
+        if expected in answers:
+            order.status = Order.STATUS_READY
+            order.validated_at = self.clock.now()
+            return True
+        order.status = Order.STATUS_INVALID
+        raise AcmeError("DNS-01 challenge not satisfied for %s" % order.domain)
+
+    def finalize(self, order_id, csr):
+        """Figure 2 steps 6-7: check the CSR and issue via the CA.
+
+        Every requested SAN must be the validated domain, a subdomain of
+        it, or a NOPE-encoded SAN under it — the CA stays oblivious to the
+        proof contents (§6).
+        """
+        order = self.orders.get(order_id)
+        if order is None:
+            raise AcmeError("unknown order")
+        if order.status != Order.STATUS_READY:
+            raise AcmeError("order not validated")
+        csr.verify()
+        domain = order.domain
+        for san in csr.san_names():
+            plain = san.rstrip(".")
+            if plain == domain or plain.endswith("." + domain):
+                continue
+            raise AcmeError("SAN %s outside the validated domain" % san)
+        chain = self.ca.issue(domain, csr.spki, csr.san_names())
+        order.status = Order.STATUS_VALID
+        return chain
+
+
+def respond_to_challenge(zone, order, server):
+    """Domain-owner side of Figure 2 step 4: publish the TXT record.
+
+    Replaces any previous challenge record (certbot's cleanup behaviour),
+    keeping the RRset a single record.
+    """
+    name = server.challenge_name(order)
+    zone.remove_txt(name)
+    zone.add_txt(name, [challenge_txt_value(order.token)])
+    return name

@@ -1,0 +1,150 @@
+"""The certification authority: issuance, CT logging, revocation.
+
+Models the parts of a Let's Encrypt-like CA that NOPE interacts with
+(Figure 2 steps 5-7): signing subscriber certificates beneath an
+intermediate, submitting precertificates to CT logs and embedding the
+returned SCTs, and operating OCSP/CRL revocation.
+
+Attacker knobs (§3.1 CA attacker): ``compromised`` enables signing
+arbitrary certificates without domain validation — including *backdated*
+ones (the attack the N/TS binding plus SCT-consistency check defeats), and
+``suppress_revocations`` models a CA refusing to revoke.
+"""
+
+from ..clock import DAY
+from ..errors import ProtocolError, RevocationError
+from ..sig.ecdsa import EcdsaPrivateKey
+from ..x509.cert import (
+    Certificate,
+    Name,
+    SubjectPublicKeyInfo,
+    aia_ocsp_extension,
+    basic_constraints_extension,
+    ct_poison_extension,
+    key_usage_extension,
+    san_extension,
+    sct_list_extension,
+)
+from .crl import CrlDistributor
+from .ocsp import OcspResponder
+
+DEFAULT_LIFETIME = 90 * DAY
+
+
+class CertificationAuthority:
+    """A two-tier CA (root + intermediate) with CT and revocation."""
+
+    def __init__(self, org_name, clock, ct_logs, signing_curve, min_scts=2):
+        self.org_name = org_name
+        self.clock = clock
+        self.ct_logs = list(ct_logs)
+        self.min_scts = min_scts
+        self.compromised = False
+        now = clock.now()
+        ten_years = now + 10 * 365 * DAY
+        self.root_key = EcdsaPrivateKey.generate(signing_curve)
+        root_name = Name.build(
+            common_name="%s Root" % org_name, organization=org_name, country="XX"
+        )
+        self.root_cert = Certificate(
+            serial=Certificate.new_serial(),
+            issuer=root_name,
+            subject=root_name,
+            spki=SubjectPublicKeyInfo(self.root_key.public_key),
+            not_before=now - DAY,
+            not_after=ten_years,
+            extensions=[basic_constraints_extension(True), key_usage_extension()],
+        ).sign(self.root_key)
+        self.intermediate_key = EcdsaPrivateKey.generate(signing_curve)
+        inter_name = Name.build(
+            common_name="%s Intermediate" % org_name,
+            organization=org_name,
+            country="XX",
+        )
+        self.intermediate_cert = Certificate(
+            serial=Certificate.new_serial(),
+            issuer=root_name,
+            subject=inter_name,
+            spki=SubjectPublicKeyInfo(self.intermediate_key.public_key),
+            not_before=now - DAY,
+            not_after=ten_years,
+            extensions=[basic_constraints_extension(True), key_usage_extension()],
+        ).sign(self.root_key)
+        self.ocsp = OcspResponder(self.intermediate_key, clock)
+        self.crl = CrlDistributor(clock)
+        self.issued = {}  # serial -> Certificate
+
+    # -- issuance -------------------------------------------------------------
+
+    def _build_tbs(self, subject_cn, spki, sans, not_before, lifetime, extra):
+        return Certificate(
+            serial=Certificate.new_serial(),
+            issuer=self.intermediate_cert.subject,
+            subject=Name.build(common_name=subject_cn),
+            spki=spki,
+            not_before=not_before,
+            not_after=not_before + lifetime,
+            extensions=[
+                key_usage_extension(),
+                basic_constraints_extension(False),
+                aia_ocsp_extension("http://ocsp.%s.test" % self.org_name.lower().replace(" ", "-")),
+                san_extension(sans),
+            ]
+            + list(extra),
+        )
+
+    def issue(self, subject_cn, spki, sans, not_before=None, lifetime=DEFAULT_LIFETIME):
+        """Issue a certificate: precert -> CT logs -> SCTs -> final cert.
+
+        Returns the chain [leaf, intermediate].  An honest CA stamps
+        ``not_before`` with the current time; only a compromised CA may
+        pass an explicit (possibly backdated) value.
+        """
+        if not_before is None:
+            not_before = self.clock.now()
+        elif not self.compromised:
+            raise ProtocolError("honest CAs do not backdate certificates")
+        precert = self._build_tbs(
+            subject_cn, spki, sans, not_before, lifetime, [ct_poison_extension()]
+        ).sign(self.intermediate_key)
+        pre_der = precert.to_der()
+        scts = [log.submit(pre_der) for log in self.ct_logs[: self.min_scts]]
+        leaf = self._build_tbs(
+            subject_cn,
+            spki,
+            sans,
+            not_before,
+            lifetime,
+            [sct_list_extension([s.to_bytes() for s in scts])],
+        )
+        leaf.serial = precert.serial
+        leaf.sign(self.intermediate_key)
+        self.issued[leaf.serial] = leaf
+        return [leaf, self.intermediate_cert]
+
+    def issue_rogue(self, subject_cn, spki, sans, not_before=None):
+        """CA-attacker path: issue without any validation (maybe backdated)."""
+        if not self.compromised:
+            raise ProtocolError("CA is not compromised")
+        return self.issue(subject_cn, spki, sans, not_before=not_before)
+
+    # -- revocation ----------------------------------------------------------------
+
+    def revoke(self, serial, requester_is_owner=True):
+        """Revoke via OCSP and CRL.
+
+        A compromised CA (or one whose revocation infrastructure the
+        attacker controls) can refuse (§3.3: "that CA can refuse to issue
+        revocation statements").
+        """
+        if self.compromised and not requester_is_owner:
+            raise RevocationError("compromised CA ignores the request")
+        if self.ocsp.suppress_revocations:
+            raise RevocationError("CA refuses to revoke")
+        if serial not in self.issued:
+            raise RevocationError("unknown serial")
+        self.ocsp.revoke(serial)
+        self.crl.revoke(serial)
+
+    def trust_anchors(self):
+        return [self.root_cert]

@@ -1,0 +1,32 @@
+"""Certificate revocation lists with publication/poll delay (§2.1).
+
+Browser vendors aggregate CRLs and push summaries; clients may take up to
+~7 days to pick them up.  The publication delay is modeled so the Figure 3
+revocation analysis can measure the exposure window.
+"""
+
+from ..clock import DAY
+
+#: the paper cites up to 7 days for clients to poll CRL summaries
+DEFAULT_PUBLICATION_DELAY = 7 * DAY
+
+
+class CrlDistributor:
+    """Revocations become client-visible only after the publication delay."""
+
+    def __init__(self, clock, publication_delay=DEFAULT_PUBLICATION_DELAY):
+        self.clock = clock
+        self.publication_delay = publication_delay
+        self._revocations = []  # (effective_time, serial)
+
+    def revoke(self, serial):
+        self._revocations.append(
+            (self.clock.now() + self.publication_delay, serial)
+        )
+
+    def visible_revocations(self, now=None):
+        now = self.clock.now() if now is None else now
+        return {serial for when, serial in self._revocations if when <= now}
+
+    def is_revoked(self, serial, now=None):
+        return serial in self.visible_revocations(now)

@@ -1,0 +1,300 @@
+"""Certificate Transparency: append-only Merkle logs, SCTs, monitoring.
+
+Implements the RFC 6962 mechanics the paper relies on (§2.1): precert
+submission, signed certificate timestamps (promises to log within the
+maximum merge delay), Merkle inclusion/consistency proofs, and the monitor
+query interface domain owners use for detection (Figure 3's time-to-detect
+column).
+
+A *CT attacker* (§3.1) is modeled by flags: a compromised log can issue
+SCTs while withholding the entry from the public tree.
+"""
+
+import hashlib
+import struct
+
+from ..errors import ProtocolError, VerificationError
+from ..hashes.sha256 import sha256
+from ..sig.ecdsa import EcdsaPrivateKey
+from ..clock import DAY, HOUR
+
+
+def _leaf_hash(data):
+    return sha256(b"\x00" + data)
+
+
+def _node_hash(left, right):
+    return sha256(b"\x01" + left + right)
+
+
+class MerkleTree:
+    """Append-only Merkle tree (RFC 6962 hashing)."""
+
+    def __init__(self):
+        self.leaves = []
+
+    def append(self, data):
+        self.leaves.append(_leaf_hash(data))
+        return len(self.leaves) - 1
+
+    @property
+    def size(self):
+        return len(self.leaves)
+
+    def root(self, size=None):
+        size = self.size if size is None else size
+        if size == 0:
+            return sha256(b"")
+        return self._subtree_root(0, size)
+
+    def _subtree_root(self, start, end):
+        n = end - start
+        if n == 1:
+            return self.leaves[start]
+        split = 1
+        while split * 2 < n:
+            split *= 2
+        return _node_hash(
+            self._subtree_root(start, start + split),
+            self._subtree_root(start + split, end),
+        )
+
+    def inclusion_proof(self, index, size=None):
+        """Audit path for leaf ``index`` in the tree of ``size`` leaves."""
+        size = self.size if size is None else size
+        if not 0 <= index < size:
+            raise ProtocolError("leaf index out of range")
+        path = []
+
+        def walk(start, end, target):
+            n = end - start
+            if n == 1:
+                return
+            split = 1
+            while split * 2 < n:
+                split *= 2
+            if target < start + split:
+                walk(start, start + split, target)
+                path.append(self._subtree_root(start + split, end))
+            else:
+                walk(start + split, end, target)
+                path.append(self._subtree_root(start, start + split))
+
+        walk(0, size, index)
+        return path
+
+    def consistency_proof(self, old_size, new_size=None):
+        """RFC 6962 §2.1.2: prove the old tree is a prefix of the new one."""
+        new_size = self.size if new_size is None else new_size
+        if not 0 < old_size <= new_size:
+            raise ProtocolError("bad consistency proof sizes")
+        if old_size == new_size:
+            return []
+        proof = []
+
+        def subproof(m, start, end, complete):
+            n = end - start
+            if m == n:
+                if not complete:
+                    proof.append(self._subtree_root(start, end))
+                return
+            split = 1
+            while split * 2 < n:
+                split *= 2
+            if m <= split:
+                subproof(m, start, start + split, complete)
+                proof.append(self._subtree_root(start + split, end))
+            else:
+                subproof(m - split, start + split, end, False)
+                proof.append(self._subtree_root(start, start + split))
+
+        subproof(old_size, 0, new_size, True)
+        return proof
+
+    @staticmethod
+    def verify_consistency(old_size, new_size, old_root, new_root, proof):
+        """Check that the new root extends the old root (append-only).
+
+        Replays the exact recursion :meth:`consistency_proof` uses — the
+        proof-node order is fully determined by (old_size, new_size) — and
+        reconstructs both roots.
+        """
+        if old_size == new_size:
+            if old_root != new_root or proof:
+                raise VerificationError("trivial consistency proof mismatch")
+            return
+        if not 0 < old_size < new_size:
+            raise VerificationError("bad consistency proof sizes")
+        items = list(proof)
+
+        def take():
+            if not items:
+                raise VerificationError("truncated consistency proof")
+            return items.pop(0)
+
+        def rec(m, start, end, complete):
+            n = end - start
+            if m == n:
+                if complete:
+                    # this subtree IS the old tree; the verifier knows it
+                    return old_root, old_root
+                h = take()
+                return h, h
+            split = 1
+            while split * 2 < n:
+                split *= 2
+            if m <= split:
+                old_h, new_left = rec(m, start, start + split, complete)
+                right = take()
+                return old_h, _node_hash(new_left, right)
+            old_r, new_r = rec(m - split, start + split, end, False)
+            left = take()
+            return _node_hash(left, old_r), _node_hash(left, new_r)
+
+        got_old, got_new = rec(old_size, 0, new_size, True)
+        if items:
+            raise VerificationError("trailing consistency proof nodes")
+        if got_old != old_root or got_new != new_root:
+            raise VerificationError("consistency proof does not match roots")
+
+    @staticmethod
+    def verify_inclusion(leaf_data, index, size, path, root):
+        h = _leaf_hash(leaf_data)
+        # replay the walk bottom-up, recording sibling sides
+        sizes = []
+
+        def walk(start, end, target):
+            n = end - start
+            if n == 1:
+                return
+            split = 1
+            while split * 2 < n:
+                split *= 2
+            if target < start + split:
+                walk(start, start + split, target)
+                sizes.append(("R",))
+            else:
+                walk(start + split, end, target)
+                sizes.append(("L",))
+
+        walk(0, size, index)
+        if len(sizes) != len(path):
+            raise VerificationError("inclusion proof length mismatch")
+        for side, sibling in zip(sizes, path):
+            if side[0] == "R":
+                h = _node_hash(h, sibling)
+            else:
+                h = _node_hash(sibling, h)
+        if h != root:
+            raise VerificationError("inclusion proof does not match root")
+
+
+class SignedCertificateTimestamp:
+    """An SCT: a log's signed promise over a (pre)certificate."""
+
+    def __init__(self, log_id, timestamp, signature):
+        self.log_id = log_id
+        self.timestamp = timestamp
+        self.signature = signature
+
+    def to_bytes(self):
+        return (
+            self.log_id
+            + struct.pack(">Q", self.timestamp)
+            + struct.pack(">H", len(self.signature))
+            + self.signature
+        )
+
+    @classmethod
+    def from_bytes(cls, data):
+        if len(data) < 42:
+            raise VerificationError("truncated SCT")
+        log_id = data[:32]
+        timestamp = struct.unpack(">Q", data[32:40])[0]
+        sig_len = struct.unpack(">H", data[40:42])[0]
+        if len(data) != 42 + sig_len:
+            raise VerificationError("bad SCT length")
+        return cls(log_id, timestamp, data[42:])
+
+
+class CtLog:
+    """A CT log server with a configurable maximum merge delay."""
+
+    def __init__(self, name, clock, mmd=DAY, signing_curve=None):
+        self.name = name
+        self.clock = clock
+        self.mmd = mmd
+        from ..ec import TOY61
+
+        self.key = EcdsaPrivateKey.generate(signing_curve or TOY61)
+        self.log_id = sha256(self.key.public_key.encode())
+        self.tree = MerkleTree()
+        self.entries = []  # (timestamp, der)
+        self._pending = []  # (deadline, der) for MMD simulation
+        # attacker knobs (§3.1 CT attacker)
+        self.compromised = False
+        self.withhold_entries = False
+
+    def _sign_sct_payload(self, der, timestamp):
+        payload = sha256(der + struct.pack(">Q", timestamp))
+        from ..sig.ecdsa import signature_to_bytes
+
+        return signature_to_bytes(self.key.curve, self.key.sign(payload))
+
+    def submit(self, der):
+        """Submit a (pre)certificate; returns an SCT.
+
+        Honest logs queue the entry for merging within the MMD; a
+        compromised, withholding log signs the SCT but never merges.
+        """
+        timestamp = self.clock.now()
+        sct = SignedCertificateTimestamp(
+            self.log_id, timestamp, self._sign_sct_payload(der, timestamp)
+        )
+        if not (self.compromised and self.withhold_entries):
+            self._pending.append((timestamp + self.mmd, der, timestamp))
+        return sct
+
+    def merge(self):
+        """Fold due pending entries into the tree (call after advancing time)."""
+        now = self.clock.now()
+        still_pending = []
+        for deadline, der, ts in self._pending:
+            if deadline <= now:
+                self.tree.append(der)
+                self.entries.append((ts, der))
+            else:
+                still_pending.append((deadline, der, ts))
+        self._pending = still_pending
+
+    def verify_sct(self, der, sct):
+        """Check an SCT signature against this log's key."""
+        if sct.log_id != self.log_id:
+            raise VerificationError("SCT from a different log")
+        payload = sha256(der + struct.pack(">Q", sct.timestamp))
+        from ..sig.ecdsa import signature_from_bytes
+
+        self.key.public_key.verify(
+            payload, signature_from_bytes(self.key.curve, sct.signature)
+        )
+
+    # -- monitor interface -------------------------------------------------------
+
+    def entries_for_domain(self, domain):
+        """What a domain owner's monitor sees (Figure 3 detection path)."""
+        self.merge()
+        from ..x509.cert import Certificate
+
+        domain = domain.rstrip(".")
+        hits = []
+        for ts, der in self.entries:
+            try:
+                cert = Certificate.from_der(der)
+            except Exception:
+                continue
+            for san in cert.san_names():
+                plain = san.rstrip(".")
+                if plain == domain or plain.endswith("." + domain):
+                    hits.append((ts, cert))
+                    break
+        return hits

@@ -1,0 +1,89 @@
+"""OCSP: signed, time-windowed revocation status (§2.1).
+
+Responses are valid for 3-4 days in practice, which bounds how fast
+revocation takes effect — the window the paper's Figure 3 analysis and the
+"reactive security" discussion hinge on.  A *CA attacker* can refuse to
+issue revocation statements (the responder belongs to the CA).
+"""
+
+import struct
+
+from ..clock import DAY
+from ..errors import RevocationError, VerificationError
+from ..hashes.sha256 import sha256
+from ..sig.ecdsa import signature_from_bytes, signature_to_bytes
+
+STATUS_GOOD = 0
+STATUS_REVOKED = 1
+STATUS_UNKNOWN = 2
+
+#: default response validity (the paper cites 3-4 days)
+DEFAULT_VALIDITY = 3 * DAY
+
+
+class OcspResponse:
+    """A signed status assertion for one serial number."""
+
+    def __init__(self, serial, status, this_update, next_update, signature):
+        self.serial = serial
+        self.status = status
+        self.this_update = this_update
+        self.next_update = next_update
+        self.signature = signature
+
+    def payload(self):
+        return struct.pack(
+            ">QBQQ",
+            self.serial & ((1 << 64) - 1),
+            self.status,
+            self.this_update,
+            self.next_update,
+        ) + self.serial.to_bytes(16, "big")
+
+    def is_current(self, now):
+        return self.this_update <= now <= self.next_update
+
+
+class OcspResponder:
+    """The CA's OCSP responder, sharing the CA's revocation database."""
+
+    def __init__(self, ca_key, clock, validity=DEFAULT_VALIDITY):
+        self.key = ca_key
+        self.clock = clock
+        self.validity = validity
+        self.revoked = {}  # serial -> revocation time
+        #: CA-attacker knob: refuse to acknowledge revocations
+        self.suppress_revocations = False
+
+    def revoke(self, serial):
+        if self.suppress_revocations:
+            raise RevocationError("responder refuses the revocation")
+        self.revoked[serial] = self.clock.now()
+
+    def status(self, serial):
+        """Produce a signed response (stapled by servers, or fetched)."""
+        now = self.clock.now()
+        revoked_at = self.revoked.get(serial)
+        status = (
+            STATUS_REVOKED
+            if revoked_at is not None and not self.suppress_revocations
+            else STATUS_GOOD
+        )
+        resp = OcspResponse(serial, status, now, now + self.validity, b"")
+        resp.signature = signature_to_bytes(
+            self.key.curve, self.key.sign(sha256(resp.payload()))
+        )
+        return resp
+
+    def verify_response(self, response, now):
+        """Client-side checks: signature and freshness."""
+        try:
+            self.key.public_key.verify(
+                sha256(response.payload()),
+                signature_from_bytes(self.key.curve, response.signature),
+            )
+        except Exception as exc:
+            raise VerificationError("OCSP signature invalid") from exc
+        if not response.is_current(now):
+            raise VerificationError("OCSP response stale")
+        return response.status

@@ -1,0 +1,35 @@
+"""A virtual clock shared by all simulated parties.
+
+Issuance latency, CT maximum merge delays, OCSP validity windows, and
+revocation propagation all matter to the paper's Figure 3 (time-to-detect)
+and Figure 5 (issuance timeline); a controllable clock lets the analysis
+advance time deterministically.
+"""
+
+
+class SimClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start=1_700_000_000):
+        self._now = start
+
+    def now(self):
+        return self._now
+
+    def advance(self, seconds):
+        if seconds < 0:
+            raise ValueError("time cannot go backwards")
+        self._now += seconds
+        return self._now
+
+    def sleep_until(self, timestamp):
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self):
+        return "SimClock(%d)" % self._now
+
+
+HOUR = 3600
+DAY = 24 * HOUR

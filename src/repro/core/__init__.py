@@ -1,0 +1,45 @@
+"""NOPE's core protocol: statement, prover pipeline, client, baselines."""
+
+from .advertisement import PinStore
+from .backend import Groth16Backend, SimulationBackend, StatementKeys, make_backend
+from .client import NopeClient, VerificationReport
+from .common import SCT_TOLERANCE, TS_GRANULARITY, input_digest, truncate_timestamp
+from .dce import DceClient, DceServer
+from .managed import ManagedNopeProver
+from .prover import IssuanceTimeline, NopeProver, run_legacy_acme
+from .statement import (
+    NAME_CAPACITY,
+    managed_binding_digest,
+    prepare_managed_witness,
+    NopeStatement,
+    StatementShape,
+    StatementWitness,
+    prepare_witness,
+)
+
+__all__ = [
+    "NopeStatement",
+    "StatementShape",
+    "StatementWitness",
+    "prepare_witness",
+    "NAME_CAPACITY",
+    "NopeProver",
+    "ManagedNopeProver",
+    "managed_binding_digest",
+    "prepare_managed_witness",
+    "run_legacy_acme",
+    "IssuanceTimeline",
+    "NopeClient",
+    "VerificationReport",
+    "PinStore",
+    "DceServer",
+    "DceClient",
+    "make_backend",
+    "Groth16Backend",
+    "SimulationBackend",
+    "StatementKeys",
+    "input_digest",
+    "truncate_timestamp",
+    "TS_GRANULARITY",
+    "SCT_TOLERANCE",
+]

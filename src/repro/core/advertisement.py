@@ -1,0 +1,34 @@
+"""Advertisement: how clients learn a domain requires NOPE (paper §6).
+
+Two mechanisms, composable:
+
+* static pinning (preloaded high-value domains, like browser HSTS/key-pin
+  preload lists);
+* trust-on-first-use: seeing a valid NOPE proof pins the domain for a TTL,
+  like dynamic HSTS — after that, an attacker cannot launder a rogue
+  non-NOPE certificate past this client.
+"""
+
+from ..clock import DAY
+
+DEFAULT_TOFU_TTL = 90 * DAY
+
+
+class PinStore:
+    def __init__(self, preloaded=(), tofu_ttl=DEFAULT_TOFU_TTL):
+        self.preloaded = {d.rstrip(".") for d in preloaded}
+        self.tofu_ttl = tofu_ttl
+        self._seen = {}  # domain -> expiry
+
+    def preload(self, domain):
+        self.preloaded.add(domain.rstrip("."))
+
+    def record_nope_seen(self, domain, now):
+        self._seen[domain.rstrip(".")] = now + self.tofu_ttl
+
+    def is_required(self, domain, now):
+        domain = domain.rstrip(".")
+        if domain in self.preloaded:
+            return True
+        expiry = self._seen.get(domain)
+        return expiry is not None and now <= expiry

@@ -1,0 +1,77 @@
+"""Proof-system backends behind one interface.
+
+``Groth16Backend`` is the real thing (what the paper ships); 128-byte
+proofs, pairing verification.  ``SimulationBackend`` swaps in the
+non-cryptographic attestation from :mod:`repro.groth16.simulation` so that
+protocol-level tests and the Figure 3 analysis (which issue dozens of
+certificates) stay fast; it still refuses to "prove" unsatisfied
+statements.  Both serialize to exactly 128 bytes so certificate sizes are
+identical.
+"""
+
+from ..errors import ProofError
+from ..groth16 import (
+    prepare,
+    proof_from_bytes,
+    proof_to_bytes,
+    prove,
+    setup,
+    sim_prove,
+    sim_setup,
+    sim_verify,
+    verify,
+)
+
+
+class StatementKeys:
+    """Keys bound to one statement shape (and, for NOPE, one root ZSK)."""
+
+    def __init__(self, shape_id, proving_key, verifying_key):
+        self.shape_id = shape_id
+        self.proving_key = proving_key
+        self.verifying_key = verifying_key
+
+
+class Groth16Backend:
+    name = "groth16"
+
+    def setup(self, shape_id, system):
+        pk, vk, toxic = setup(system)
+        del toxic  # the trapdoor is destroyed; see tests for why it must be
+        return StatementKeys(shape_id, pk, prepare(vk))
+
+    def prove(self, keys, system):
+        proof = prove(keys.proving_key, system)
+        return proof_to_bytes(proof)
+
+    def verify(self, keys, proof_bytes, public_inputs):
+        proof = proof_from_bytes(proof_bytes)
+        verify(keys.verifying_key, proof, public_inputs)
+
+
+class SimulationBackend:
+    name = "simulation"
+
+    def setup(self, shape_id, system):
+        key = sim_setup(system)
+        return StatementKeys(shape_id, key, key)
+
+    def prove(self, keys, system):
+        return sim_prove(keys.proving_key, system).digest
+
+    def verify(self, keys, proof_bytes, public_inputs):
+        from ..groth16.simulation import SimulatedProof
+
+        if len(proof_bytes) != 128:
+            raise ProofError("bad proof length")
+        sim_verify(keys.verifying_key, SimulatedProof(proof_bytes), public_inputs)
+
+
+BACKENDS = {"groth16": Groth16Backend, "simulation": SimulationBackend}
+
+
+def make_backend(name):
+    cls = BACKENDS.get(name)
+    if cls is None:
+        raise ProofError("unknown backend %r" % name)
+    return cls()

@@ -1,0 +1,207 @@
+"""The NOPE-aware client (Figure 2 steps 8-11; the paper's Firefox
+extension, §7 client-side).
+
+Verification order matters and mirrors §3.2:
+
+1. legacy chain validation (signatures, validity, hostname);
+2. revocation: a fresh OCSP response must accompany the chain;
+3. NOPE: extract the proof from the SANs, rebuild the public inputs from
+   the certificate itself (D, T = the leaf's key, N = the issuer's
+   organization name, TS = truncated notBefore) plus the pinned root ZSK,
+   and verify;
+4. CT consistency: at least ``min_scts`` SCTs whose timestamps sit within
+   tolerance of notBefore — the check that stops a compromised CA from
+   backdating a certificate to match a replayed proof.
+
+Advertisement (§6) is a pin store: for pinned domains a certificate
+*without* a valid NOPE proof is rejected, preventing rogue-certificate
+laundering against NOPE-enabled servers.
+"""
+
+from ..errors import CertificateError, EncodingError, ProofError, VerificationError
+from ..x509 import oid as OID
+from ..x509.cert import parse_sct_list
+from ..x509.san import decode_proof_sans, is_nope_san
+from ..x509.validate import validate_chain
+from ..ca.ct import SignedCertificateTimestamp
+from ..ca.ocsp import STATUS_REVOKED
+from .common import SCT_TOLERANCE, input_digest, truncate_timestamp
+
+
+class VerificationReport:
+    """What the client concluded about a connection."""
+
+    def __init__(self, domain, legacy_ok, nope_checked, nope_ok, details=""):
+        self.domain = domain
+        self.legacy_ok = legacy_ok
+        self.nope_checked = nope_checked
+        self.nope_ok = nope_ok
+        self.details = details
+
+    def __repr__(self):
+        return "VerificationReport(%s legacy=%s nope=%s%s)" % (
+            self.domain,
+            self.legacy_ok,
+            self.nope_ok if self.nope_checked else "n/a",
+            " (%s)" % self.details if self.details else "",
+        )
+
+
+class NopeClient:
+    """A TLS client with optional NOPE awareness."""
+
+    def __init__(self, profile, trust_roots, root_zsk_dnskey=None,
+                 statement_keys=None, statements=None, backend=None,
+                 pin_store=None, min_scts=1, nope_aware=True):
+        self.profile = profile
+        self.trust_roots = list(trust_roots)
+        self.root_zsk_dnskey = root_zsk_dnskey
+        #: shape_id -> (NopeStatement, StatementKeys)
+        self.statements = dict(statements or {})
+        if statement_keys is not None:
+            for shape_id, pair in statement_keys.items():
+                self.statements[shape_id] = pair
+        self.backend = backend
+        self.pin_store = pin_store
+        self.min_scts = min_scts
+        self.nope_aware = nope_aware
+
+    def register_statement(self, statement, keys):
+        self.statements[statement.shape.id_string()] = (statement, keys)
+
+    # -- the connection-time check -------------------------------------------------
+
+    def verify_server(self, domain, chain, now, ocsp_responder=None,
+                      ocsp_response=None):
+        """Validate a server's chain; returns a VerificationReport.
+
+        Raises CertificateError/ProofError on rejection.
+        """
+        domain = domain.rstrip(".")
+        leaf = validate_chain(chain, self.trust_roots, domain, now)
+        # revocation (stapled response, or fetched from the responder)
+        if ocsp_responder is not None:
+            if ocsp_response is None:
+                ocsp_response = ocsp_responder.status(leaf.serial)
+            status = ocsp_responder.verify_response(ocsp_response, now)
+            if status == STATUS_REVOKED:
+                raise CertificateError("certificate is revoked")
+        if not self.nope_aware:
+            return VerificationReport(domain, True, False, False, "legacy client")
+        has_nope = any(is_nope_san(name) for name in leaf.san_names())
+        pinned = self.pin_store.is_required(domain, now) if self.pin_store else False
+        if not has_nope:
+            if pinned:
+                raise ProofError(
+                    "domain %s is pinned to NOPE but presented no proof" % domain
+                )
+            return VerificationReport(domain, True, False, False, "no NOPE proof")
+        self._verify_nope_proof(domain, leaf)
+        self._check_sct_consistency(leaf)
+        if self.pin_store is not None:
+            self.pin_store.record_nope_seen(domain, now)
+        return VerificationReport(domain, True, True, True)
+
+    def _verify_nope_proof(self, domain, leaf):
+        try:
+            proof_bytes, metadata = decode_proof_sans(leaf.san_names(), domain)
+        except EncodingError as exc:
+            raise ProofError("malformed NOPE SAN encoding: %s" % exc) from exc
+        from ..dns.name import DomainName
+        from .statement import NopeStatement, StatementShape
+
+        depth = DomainName.parse(domain).depth
+        shape_id = StatementShape(
+            self.profile, depth, managed=(metadata == 1)
+        ).id_string()
+        entry = self.statements.get(shape_id)
+        if entry is None:
+            raise ProofError("no verification key for statement %s" % shape_id)
+        statement, keys = entry
+        ca_name = (leaf.issuer.organization or "").encode()
+        base_ts = truncate_timestamp(leaf.not_before)
+        # the prover truncates TS *before* CA issuance latency, so the
+        # certificate's notBefore may land one bucket later (§3.2:
+        # "truncates TS to within a few minutes")
+        last_error = None
+        from .common import TS_GRANULARITY
+
+        for delta in (0, -TS_GRANULARITY):
+            public_inputs = statement.public_inputs(
+                domain,
+                self.root_zsk_dnskey.public_key,
+                input_digest(self.profile, leaf.tls_key_bytes),
+                input_digest(self.profile, ca_name),
+                base_ts + delta,
+            )
+            try:
+                self.backend.verify(keys, proof_bytes, public_inputs)
+                return
+            except (ProofError, VerificationError) as exc:
+                last_error = exc
+        raise ProofError("NOPE proof rejected: %s" % last_error) from last_error
+
+    def audit_scts(self, leaf, logs, grace=0):
+        """SCT auditing (§3.3's fallback against a CT attacker).
+
+        For each SCT in the certificate, ask the issuing log for an
+        inclusion proof of the corresponding precertificate once the MMD
+        (plus ``grace``) has elapsed.  A log that signed an SCT but
+        withheld the entry is caught here — the check browsers "do not do
+        by default today" per the paper.  Raises ProofError on any missing
+        or unverifiable entry.
+        """
+        from ..ca.ct import MerkleTree
+
+        ext = leaf.extension(OID.OID_EXT_SCT_LIST)
+        if ext is None:
+            raise ProofError("certificate carries no SCTs to audit")
+        scts = [
+            SignedCertificateTimestamp.from_bytes(raw)
+            for raw in parse_sct_list(ext.value)
+        ]
+        logs_by_id = {log.log_id: log for log in logs}
+        for sct in scts:
+            log = logs_by_id.get(sct.log_id)
+            if log is None:
+                raise ProofError("SCT from an unknown log")
+            log.merge()
+            if log.clock.now() < sct.timestamp + log.mmd + grace:
+                raise ProofError("MMD has not elapsed; audit later")
+            # find the precertificate entry (same serial, poisoned)
+            for index, (_, der) in enumerate(log.entries):
+                try:
+                    from ..x509.cert import Certificate
+
+                    entry = Certificate.from_der(der)
+                except Exception:
+                    continue
+                if entry.serial == leaf.serial:
+                    path = log.tree.inclusion_proof(index)
+                    MerkleTree.verify_inclusion(
+                        der, index, log.tree.size, path, log.tree.root()
+                    )
+                    break
+            else:
+                raise ProofError(
+                    "log %s signed an SCT but never merged the entry "
+                    "(CT attacker caught by auditing)" % log.name
+                )
+
+    def _check_sct_consistency(self, leaf):
+        """SCT timestamps must match the certificate's notBefore (§3.2)."""
+        ext = leaf.extension(OID.OID_EXT_SCT_LIST)
+        if ext is None:
+            raise ProofError("NOPE certificate lacks SCTs")
+        scts = [
+            SignedCertificateTimestamp.from_bytes(raw)
+            for raw in parse_sct_list(ext.value)
+        ]
+        if len(scts) < self.min_scts:
+            raise ProofError("not enough SCTs")
+        for sct in scts:
+            if abs(sct.timestamp - leaf.not_before) > SCT_TOLERANCE:
+                raise ProofError(
+                    "SCT timestamp inconsistent with notBefore "
+                    "(possible backdated certificate)"
+                )

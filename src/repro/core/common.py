@@ -1,0 +1,27 @@
+"""Shared protocol constants and helper digests."""
+
+from ..hashes.sha256 import sha256
+from ..hashes.toyhash import toyhash
+
+#: the prover truncates TS to this granularity so the CA's issuance time
+#: lands in the same bucket (§3.2: "within a few minutes")
+TS_GRANULARITY = 300
+
+#: clients accept SCT timestamps within this distance of the certificate's
+#: notBefore (the CT-consistency check that defeats backdating; §3.2)
+SCT_TOLERANCE = 2 * TS_GRANULARITY
+
+
+def truncate_timestamp(ts, granularity=TS_GRANULARITY):
+    return ts - ts % granularity
+
+
+def input_digest(profile, data):
+    """Digest used to bind T and N as public inputs.
+
+    The paper passes T/N directly; we bind collision-resistant digests to
+    keep the public-input vector small (documented in DESIGN.md).
+    """
+    if profile.name == "toy":
+        return toyhash(data)
+    return sha256(data)[:16]

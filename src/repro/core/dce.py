@@ -1,0 +1,56 @@
+"""The DCE baseline (RFC 9102, §1/§2.2): ship the whole DNSSEC chain.
+
+A DCE server gathers the chain (including its own DNSKEY and a TLSA record
+binding the TLS key) and delivers it in the TLS handshake; the client
+validates every signature down from the pinned root ZSK.  Strengths and
+weaknesses per the paper: no CA needed at all, but 5-6 KB per handshake and
+no transparency or revocation story — a DNSSEC attacker wins silently
+(Figure 3's infinite time-to-detect rows).
+"""
+
+from ..dns.name import DomainName
+from ..dns.resolver import validate_chain
+from ..errors import DnssecError, VerificationError
+
+
+class DceServer:
+    """A server speaking the DNSSEC-chain-extension."""
+
+    def __init__(self, hierarchy, domain, tls_key_bytes, now=1_700_000_000):
+        if isinstance(domain, str):
+            domain = DomainName.parse(domain)
+        self.hierarchy = hierarchy
+        self.domain = domain
+        self.tls_key_bytes = tls_key_bytes
+        hierarchy.publish_tlsa(domain, tls_key_bytes)
+        # re-sign so the TLSA RRset carries a signature
+        zone = hierarchy.zones[domain]
+        zone.sign(now - 60, now + 90 * 24 * 3600)
+        self.chain = hierarchy.fetch_chain(domain, for_dce=True)
+
+    def handshake_payload(self):
+        """(tls_key, chain) as delivered in the TLS extension."""
+        return self.tls_key_bytes, self.chain
+
+    def bandwidth(self):
+        return self.chain.wire_size()
+
+
+class DceClient:
+    """A client trusting only the DNSSEC root ZSK."""
+
+    def __init__(self, root_zsk_dnskey):
+        self.root_zsk_dnskey = root_zsk_dnskey
+
+    def verify_server(self, tls_key_bytes, chain, now=None):
+        try:
+            validate_chain(
+                chain,
+                self.root_zsk_dnskey,
+                now=now,
+                expected_tls_key=tls_key_bytes,
+            )
+        except DnssecError as exc:
+            raise VerificationError("DCE chain rejected: %s" % exc) from exc
+        if chain.tlsa_rrset is None:
+            raise VerificationError("DCE chain lacks a TLSA record")

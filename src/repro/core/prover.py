@@ -1,0 +1,176 @@
+"""The domain owner's NOPE tool (Figure 2 steps 1-4, paper §7 server-side).
+
+``NopeProver`` fetches the DNSSEC chain, synthesizes S_NOPE, produces the
+proof, encodes it into SAN entries, builds the CSR, and drives the ACME
+DNS-01 exchange.  The result is a legacy certificate chain with the proof
+embedded — the CA never knows.
+"""
+
+import time as _time
+
+from ..ca.acme import DNS_PROPAGATION_DELAY, respond_to_challenge
+from ..dns.name import DomainName
+from ..errors import ProvingError
+from ..r1cs import ConstraintSystem
+from ..x509.csr import CertificateRequest
+from ..x509.san import encode_proof_sans
+from .backend import make_backend
+from .common import input_digest, truncate_timestamp
+from .statement import NopeStatement, StatementShape, prepare_witness
+
+
+class IssuanceTimeline:
+    """Per-step durations for the Figure 5 timeline."""
+
+    def __init__(self):
+        self.steps = []
+
+    def record(self, step, seconds):
+        self.steps.append((step, seconds))
+
+    def total(self):
+        return sum(s for _, s in self.steps)
+
+    def as_dict(self):
+        return dict(self.steps)
+
+
+class NopeProver:
+    """A domain owner with DNSSEC keys, producing NOPE certificates."""
+
+    def __init__(self, profile, hierarchy, domain, backend=None, field=None):
+        from ..ec.curves import BN254_R
+        from ..field import PrimeField
+
+        self.profile = profile
+        self.hierarchy = hierarchy
+        self.domain = (
+            DomainName.parse(domain) if isinstance(domain, str) else domain
+        )
+        self.zone = hierarchy.zones[self.domain]
+        self.shape = StatementShape(profile, self.domain.depth)
+        self.statement = NopeStatement(self.shape)
+        self.backend = make_backend(backend or profile.default_backend)
+        self.field = field or PrimeField(BN254_R)
+        self.keys = None
+
+    # -- one-time statement setup ---------------------------------------------
+
+    def root_zsk_dnskey(self):
+        return self.hierarchy.root.zsk.dnskey()
+
+    def _witness(self):
+        chain = self.hierarchy.fetch_chain(self.domain)
+        return prepare_witness(
+            self.profile, self.domain, chain, self.zone.ksk, self.root_zsk_dnskey()
+        )
+
+    def synthesize(self, tls_key_bytes=b"", ca_name=b"", ts=0):
+        """Build the fully-assigned constraint system for this statement."""
+        cs = ConstraintSystem(self.field)
+        self.statement.synthesize(
+            cs,
+            self._witness(),
+            input_digest(self.profile, tls_key_bytes),
+            input_digest(self.profile, ca_name),
+            ts,
+        )
+        return cs
+
+    def trusted_setup(self):
+        """Run (or reuse) the statement's trusted setup; returns the keys."""
+        if self.keys is None:
+            cs = self.synthesize()
+            self.keys = self.backend.setup(self.shape.id_string(), cs)
+        return self.keys
+
+    # -- proof + certificate pipeline -----------------------------------------------
+
+    def generate_proof(self, tls_key_bytes, ca_name, ts=None, clock=None):
+        """Steps 1-2 of Figure 2.  Returns (proof_bytes, truncated_ts)."""
+        if self.keys is None:
+            raise ProvingError("run trusted_setup() first")
+        if ts is None:
+            ts = clock.now() if clock is not None else int(_time.time())
+        ts = truncate_timestamp(ts)
+        if isinstance(ca_name, str):
+            ca_name = ca_name.encode()
+        cs = self.synthesize(tls_key_bytes, ca_name, ts)
+        return self.backend.prove(self.keys, cs), ts
+
+    #: SAN metadata character: 0 = base NOPE, 1 = NOPE-managed
+    san_metadata = 0
+
+    def build_csr(self, tls_private_key, proof_bytes):
+        """Step 3: a CSR whose SANs carry the encoded proof."""
+        domain_text = str(self.domain).rstrip(".")
+        sans = [domain_text] + encode_proof_sans(
+            proof_bytes, domain_text, metadata=self.san_metadata
+        )
+        csr = CertificateRequest.build(domain_text, tls_private_key.public_key, sans)
+        return csr.sign(tls_private_key)
+
+    def obtain_certificate(self, acme_server, tls_private_key, clock,
+                           dns_propagation=DNS_PROPAGATION_DELAY):
+        """The whole setup-time flow; returns (chain, timeline).
+
+        Mirrors the paper's Figure 5 measurement: proof generation, ACME
+        initiation, DNS propagation, ACME verification.
+        """
+        timeline = IssuanceTimeline()
+        tls_key_bytes = self._spki_bytes(tls_private_key)
+        # NOPE proof generation (steps 1-2): measured in wall-clock time
+        t0 = _time.time()
+        ca_name = acme_server.ca.org_name
+        proof_bytes, ts = self.generate_proof(
+            tls_key_bytes, ca_name, ts=clock.now()
+        )
+        proof_wall = _time.time() - t0
+        timeline.record("nope_proof_generation", proof_wall)
+        clock.advance(max(1, int(proof_wall)))
+        # ACME initiation (step 3)
+        t_start = clock.now()
+        order = acme_server.new_order(str(self.domain))
+        csr = self.build_csr(tls_private_key, proof_bytes)
+        timeline.record("acme_initiation", clock.now() - t_start + 1)
+        clock.advance(1)
+        # post the DNS challenge (step 4) and wait for propagation
+        respond_to_challenge(self.zone, order, acme_server)
+        self.zone.sign(clock.now(), clock.now() + 90 * 24 * 3600)
+        clock.advance(dns_propagation)
+        timeline.record("dns_propagation", dns_propagation)
+        # CA validation + issuance (steps 5-7)
+        t_start = clock.now()
+        acme_server.validate(order.order_id)
+        chain = acme_server.finalize(order.order_id, csr)
+        timeline.record("acme_verification", clock.now() - t_start)
+        return chain, timeline
+
+    @staticmethod
+    def _spki_bytes(tls_private_key):
+        from ..x509.cert import SubjectPublicKeyInfo
+
+        return SubjectPublicKeyInfo(tls_private_key.public_key).raw_key_bytes()
+
+
+def run_legacy_acme(acme_server, zone, domain, tls_private_key, clock,
+                    dns_propagation=DNS_PROPAGATION_DELAY):
+    """Plain ACME issuance (the DV baseline): no proof, same challenge flow."""
+    timeline = IssuanceTimeline()
+    domain_text = str(domain).rstrip(".")
+    t_start = clock.now()
+    order = acme_server.new_order(domain_text)
+    csr = CertificateRequest.build(
+        domain_text, tls_private_key.public_key, [domain_text]
+    ).sign(tls_private_key)
+    timeline.record("acme_initiation", clock.now() - t_start + 1)
+    clock.advance(1)
+    respond_to_challenge(zone, order, acme_server)
+    zone.sign(clock.now(), clock.now() + 90 * 24 * 3600)
+    clock.advance(dns_propagation)
+    timeline.record("dns_propagation", dns_propagation)
+    t_start = clock.now()
+    acme_server.validate(order.order_id)
+    chain = acme_server.finalize(order.order_id, csr)
+    timeline.record("acme_verification", clock.now() - t_start)
+    return chain, timeline

@@ -1,0 +1,896 @@
+"""The S_NOPE proof statement (paper §3.2) as an R1CS circuit.
+
+Public inputs, in order:
+
+* the domain name D in DNS wire form (fixed capacity, plus a length wire);
+* the root ZSK public key bytes (RFC 3110 wire form, fixed capacity) —
+  also baked as a compile-time constant so the RSA matrix-M reduction
+  applies; the wires are equality-checked against the baked constant;
+* a digest of the TLS key T, a digest of the CA name N, and the truncated
+  timestamp TS.  **No statement logic touches these three**: they are bound
+  through single pass-through constraints, making the proof a signature of
+  knowledge over them exactly as §3.2 describes.
+
+The witness: for each chain level, the RRSIG *signed-data* buffer
+(RRSIG RDATA prefix || canonical RRset wire), its signature, name-suffix
+offsets, the target KSK's private scalar, and assorted hints (parse
+offsets, quotients, point results) that the gadget layer supplies itself.
+
+Statement composition for a depth-L domain (Figure 1's chain):
+
+  level L   (= D):    S_DS.K  — KSK-knowledge (fixed-base mul),
+                      KSK-hash, DS-parse, DS-signature by level-(L-1) ZSK
+  levels L-1 .. 1:    S_ZSK   — DNSKEY-parse, DNSKEY-signature (self, by
+                      the level KSK), KSK-hash, DS-parse, DS-signature by
+                      the parent ZSK
+  level 0   (root):   the level-1 DS RRset verifies under the *public*
+                      root ZSK (RSA)
+
+The ``parsing`` / ``crypto`` switches select NOPE's techniques or the
+pre-NOPE baselines, which is how the Figure 6 ablation rows are produced.
+"""
+
+from ..dns.name import DomainName
+from ..dns.records import DnskeyData, TYPE_DNSKEY, TYPE_DS
+from ..errors import SynthesisError
+from ..gadgets.bigint import LimbInt
+from ..gadgets.bits import alloc_bytes, bit_decompose, select
+from ..gadgets.ecc import PointVar, assert_on_curve, fixed_base_mul
+from ..gadgets.ecdsa import verify_ecdsa
+from ..gadgets.rsa import verify_rsa_pkcs1
+from ..gadgets.sha256 import sha256_var_gadget
+from ..gadgets.strings import (
+    indicator,
+    mask_keep_prefix,
+    mask_naive,
+    place_at_dynamic,
+    slice_gadget,
+    slice_naive,
+)
+from ..gadgets.toyhash import toyhash_gadget
+
+#: fixed RRSIG RDATA length before the signer name
+RRSIG_PREFIX_LEN = 18
+
+#: capacity for domain names in wire form inside the statement
+NAME_CAPACITY = 32
+
+#: capacity for the root ZSK public-key wire bytes
+ROOT_KEY_CAPACITY = {"toy": 32, "production": 272}
+
+
+class StatementShape:
+    """Compile-time shape: everything that determines the R1CS structure."""
+
+    def __init__(self, profile, depth, parsing="nope", crypto="nope", managed=False):
+        if depth < 1:
+            raise SynthesisError("depth must be >= 1")
+        self.profile = profile
+        self.depth = depth
+        self.parsing = parsing
+        self.crypto = crypto
+        self.managed = managed
+        self.curve_config = profile.curve_config
+        self.coord_bytes = profile.curve.field.byte_length
+        self.key_len = 2 * self.coord_bytes  # ECDSA x||y
+        self.digest_len = 8 if profile.name == "toy" else 32
+        self.sig_capacity = profile.sig_hash_capacity
+        self.ds_capacity = profile.ds_hash_capacity
+        self.root_key_capacity = ROOT_KEY_CAPACITY[profile.name]
+        #: max bytes of one parsed record region
+        self.record_capacity = NAME_CAPACITY + 14 + max(self.digest_len, 4 + self.key_len)
+
+    def id_string(self):
+        return "nope%s/%s/depth%d/%s/%s" % (
+            "-managed" if self.managed else "",
+            self.profile.name,
+            self.depth,
+            self.parsing,
+            self.crypto,
+        )
+
+
+class StatementWitness:
+    """Native material for one proof (see prepare_witness)."""
+
+    def __init__(self, domain, ds_buffers, ds_signatures, dnskey_buffers,
+                 dnskey_signatures, ksk_first_flags, ksk_private, root_modulus,
+                 root_zsk_wire, txt_buffer=None, txt_signature=None):
+        self.domain = domain
+        self.ds_buffers = ds_buffers  # level -> bytes (1..depth)
+        self.ds_signatures = ds_signatures  # level -> bytes
+        self.dnskey_buffers = dnskey_buffers  # level -> bytes (1..depth-1;
+        # through depth in the managed variant)
+        self.dnskey_signatures = dnskey_signatures
+        self.ksk_first_flags = ksk_first_flags  # level -> bool
+        self.ksk_private = ksk_private  # EcdsaPrivateKey of D's KSK (None if managed)
+        self.root_modulus = root_modulus
+        self.root_zsk_wire = root_zsk_wire
+        self.txt_buffer = txt_buffer  # managed: signed-data of the binding TXT
+        self.txt_signature = txt_signature
+
+
+def prepare_witness(profile, domain, chain, ksk_key, root_zsk_dnskey):
+    """Extract statement witness material from a fetched DNSSEC chain.
+
+    ``root_zsk_dnskey``: the trust-anchor DnskeyData for the root's RSA
+    ZSK (the same value the verifier feeds as a public input).
+    """
+    from ..dns.dnssec import _rsa_pub_from_wire
+
+    if isinstance(domain, str):
+        domain = DomainName.parse(domain)
+    depth = domain.depth
+    ds_rrsets = {}
+    for level in range(1, depth + 1):
+        if level == 1:
+            ds_rrsets[level] = chain.root_ds_rrset
+        else:
+            ds_rrsets[level] = chain.links[level - 2].child_ds_rrset
+    ds_buffers, ds_sigs = {}, {}
+    for level, rrset in ds_rrsets.items():
+        if not rrset.rrsigs:
+            raise SynthesisError("DS RRset at level %d is unsigned" % level)
+        rrsig = rrset.rrsigs[0]
+        ds_buffers[level] = rrset.signed_data(rrsig)
+        ds_sigs[level] = rrsig.signature
+    dnskey_buffers, dnskey_sigs, ksk_first = {}, {}, {}
+    for level in range(1, depth):
+        link = chain.links[level - 1]
+        rrset = link.dnskey_rrset
+        rrsig = rrset.rrsigs[0]
+        dnskey_buffers[level] = rrset.signed_data(rrsig)
+        dnskey_sigs[level] = rrsig.signature
+        first = DnskeyData.from_bytes(rrset.sorted_rdatas()[0])
+        ksk_first[level] = first.is_ksk
+    root_pub = _rsa_pub_from_wire(root_zsk_dnskey.public_key)
+    return StatementWitness(
+        domain,
+        ds_buffers,
+        ds_sigs,
+        dnskey_buffers,
+        dnskey_sigs,
+        ksk_first,
+        ksk_key.private,
+        root_pub.n,
+        root_zsk_dnskey.public_key,
+    )
+
+
+def managed_binding_capacity(profile):
+    """Hash-buffer capacity for the managed binding digest."""
+    return 32 if profile.name == "toy" else 64
+
+
+def managed_binding_digest(profile, tls_key_digest, ca_name_digest, ts):
+    """The value the managed TXT record carries (App. A): the digest of
+    T's digest || N's digest || TS, computed with the profile's hash over
+    the same fixed-capacity buffer the circuit uses."""
+    from ..gadgets.toyhash import toyhash_padded
+    from ..hashes.sha256 import sha256
+
+    payload = tls_key_digest + ca_name_digest + ts.to_bytes(4, "big")
+    if profile.name == "toy":
+        return toyhash_padded(payload, managed_binding_capacity(profile))
+    return sha256(payload, rounds=profile.sha_rounds)
+
+
+def prepare_managed_witness(profile, domain, chain, txt_rrset, root_zsk_dnskey):
+    """Witness for S_NOPE-managed: the chain must include the target
+    zone's DNSKEY RRset (fetch with ``for_dce=True``) and ``txt_rrset`` is
+    the signed binding TXT RRset on the domain."""
+    from ..dns.dnssec import _rsa_pub_from_wire
+
+    if isinstance(domain, str):
+        domain = DomainName.parse(domain)
+    base = prepare_witness(
+        profile, domain, chain,
+        _DummyKskHolder(), root_zsk_dnskey,
+    )
+    depth = domain.depth
+    if chain.target_dnskey_rrset is None:
+        raise SynthesisError("managed witness needs the target DNSKEY RRset")
+    rrset = chain.target_dnskey_rrset
+    rrsig = rrset.rrsigs[0]
+    base.dnskey_buffers[depth] = rrset.signed_data(rrsig)
+    base.dnskey_signatures[depth] = rrsig.signature
+    first = DnskeyData.from_bytes(rrset.sorted_rdatas()[0])
+    base.ksk_first_flags[depth] = first.is_ksk
+    if not txt_rrset.rrsigs:
+        raise SynthesisError("binding TXT RRset is unsigned")
+    txt_sig = txt_rrset.rrsigs[0]
+    base.txt_buffer = txt_rrset.signed_data(txt_sig)
+    base.txt_signature = txt_sig.signature
+    base.ksk_private = None
+    return base
+
+
+class _DummyKskHolder:
+    """prepare_witness expects a key holder; managed proofs have none."""
+
+    private = None
+
+
+class _Bytes:
+    """Paired (lc, value) byte vectors."""
+
+    __slots__ = ("lcs", "vals")
+
+    def __init__(self, lcs, vals):
+        self.lcs = list(lcs)
+        self.vals = list(vals)
+
+    def __len__(self):
+        return len(self.lcs)
+
+    def fixed(self, start, length):
+        lcs = self.lcs[start : start + length]
+        vals = self.vals[start : start + length]
+        return _Bytes(lcs, vals)
+
+    def packed_be(self, cs):
+        acc = None
+        val = 0
+        for lc, v in zip(self.lcs, self.vals):
+            acc = lc if acc is None else acc * 256 + lc
+            val = (val << 8) | v
+        return acc, val
+
+
+def _pad(data, capacity, what):
+    if len(data) > capacity:
+        raise SynthesisError(
+            "%s (%d bytes) exceeds capacity %d" % (what, len(data), capacity)
+        )
+    return data + b"\x00" * (capacity - len(data))
+
+
+class NopeStatement:
+    """Synthesizes S_NOPE over a ConstraintSystem."""
+
+    def __init__(self, shape):
+        self.shape = shape
+
+    # ---- public inputs --------------------------------------------------------
+
+    def public_inputs(self, domain, root_zsk_wire, tls_key_digest, ca_name_digest, ts):
+        """The public-input vector (list of ints) for verification."""
+        if isinstance(domain, str):
+            domain = DomainName.parse(domain)
+        name_wire = _pad(domain.to_wire(), NAME_CAPACITY, "domain")
+        root = _pad(root_zsk_wire, self.shape.root_key_capacity, "root zsk")
+        return (
+            list(name_wire)
+            + [len(domain.to_wire())]
+            + list(root)
+            + [
+                int.from_bytes(tls_key_digest, "big"),
+                int.from_bytes(ca_name_digest, "big"),
+                ts,
+            ]
+        )
+
+    # ---- synthesis ---------------------------------------------------------------
+
+    def synthesize(self, cs, witness, tls_key_digest, ca_name_digest, ts):
+        shape = self.shape
+        domain = witness.domain
+        if domain.depth != shape.depth:
+            raise SynthesisError("witness depth does not match the shape")
+        name_wire = domain.to_wire()
+        # -- public inputs ----------------------------------------------------
+        name_buf = self._alloc_public_bytes(
+            cs, name_wire, NAME_CAPACITY, "D"
+        )
+        name_len = cs.alloc_public(len(name_wire), "D.len")
+        root_buf = self._alloc_public_bytes(
+            cs, witness.root_zsk_wire, shape.root_key_capacity, "rootzsk"
+        )
+        t_in = cs.alloc_public(int.from_bytes(tls_key_digest, "big"), "T")
+        n_in = cs.alloc_public(int.from_bytes(ca_name_digest, "big"), "N")
+        ts_in = cs.alloc_public(ts, "TS")
+        for bound in (t_in, n_in, ts_in):
+            # signature-of-knowledge binding: pass-through constraints give
+            # these inputs nonzero QAP polynomials without using them
+            cs.enforce(bound, cs.one, bound, "bind")
+        bit_decompose(cs, name_len, 6, "D.len.rc")
+        # root key wires must equal the baked constant
+        baked = _pad(witness.root_zsk_wire, shape.root_key_capacity, "root")
+        for i, lc in enumerate(root_buf.lcs):
+            cs.enforce_equal(lc, cs.constant(baked[i]), "rootzsk.eq%d" % i)
+
+        # -- label-boundary offsets, derived linearly --------------------------
+        offsets = self._derive_offsets(cs, name_buf, name_len, "off")
+
+        # -- per-level material -------------------------------------------------
+        depth = shape.depth
+        # managed variant (App. A): D's own zone keys are also in the
+        # statement, and a signed TXT record replaces KSK-knowledge
+        dnskey_top = depth + 1 if shape.managed else depth
+        zsk_points = {}
+        ksk_key_bytes = {}
+        dnskey_buf_vars = {}
+        for level in range(1, dnskey_top):
+            parsed = self._parse_dnskey_buffer(
+                cs, witness, level, name_buf, name_len, offsets, "dk%d" % level
+            )
+            zsk_points[level] = parsed["zsk_point"]
+            ksk_key_bytes[level] = parsed["ksk_bytes"]
+            dnskey_buf_vars[level] = parsed
+
+        if shape.managed:
+            # S_TXT (App. A): the binding TXT record on D, signed by D's
+            # ZSK, must carry H(T-digest || N-digest || TS)
+            self._txt_check(
+                cs, witness, name_buf, name_len, offsets,
+                zsk_points[depth], t_in, n_in, ts_in, "txt"
+            )
+        else:
+            # S_KSK.K for D's KSK
+            ksk_key_bytes[depth] = self._ksk_knowledge(cs, witness, "kskk")
+
+        # DS checks per level (top-down; level 1 is signed by the root RSA)
+        for level in range(1, depth + 1):
+            self._ds_check(
+                cs,
+                witness,
+                level,
+                name_buf,
+                name_len,
+                offsets,
+                ksk_key_bytes[level],
+                zsk_points.get(level - 1),
+                "ds%d" % level,
+            )
+
+        # DNSKEY signatures: self-signed by each level's KSK
+        for level in range(1, dnskey_top):
+            parsed = dnskey_buf_vars[level]
+            ksk_point = self._point_from_bytes(
+                cs, ksk_key_bytes[level], "dk%d.kskpt" % level
+            )
+            self._verify_sig_over_buffer(
+                cs,
+                parsed["digest"],
+                ksk_point,
+                witness.dnskey_signatures[level],
+                "dk%d.sig" % level,
+            )
+
+    # ---- helpers --------------------------------------------------------------
+
+    def _alloc_public_bytes(self, cs, data, capacity, label):
+        padded = _pad(data, capacity, label)
+        lcs = [
+            cs.alloc_public(b, "%s[%d]" % (label, i)) for i, b in enumerate(padded)
+        ]
+        buf = _Bytes(lcs, list(padded))
+        self._public_byte_rc = getattr(self, "_public_byte_rc", [])
+        self._public_byte_rc.append(buf)
+        return buf
+
+    def _finish_public(self, cs):
+        for buf in getattr(self, "_public_byte_rc", []):
+            for i, lc in enumerate(buf.lcs):
+                bit_decompose(cs, lc, 8, "pubrc")
+        self._public_byte_rc = []
+
+    def _mask(self, cs, lcs, length_lc, label):
+        if self.shape.parsing == "nope":
+            return mask_keep_prefix(cs, lcs, length_lc, label)
+        # naive: comparison-based mask (ablation baseline); semantics of
+        # mask_naive keep i <= ell, so pass length - 1
+        return mask_naive(cs, lcs, length_lc - 1, label)
+
+    def _slice(self, cs, buf, start_lc, start_val, length, label):
+        fn = slice_gadget if self.shape.parsing == "nope" else slice_naive
+        out_lcs = fn(cs, buf.lcs, start_lc, length, label)
+        padded_vals = buf.vals + [0] * length
+        out_vals = padded_vals[start_val : start_val + length]
+        return _Bytes(out_lcs, out_vals)
+
+    def _byte_at(self, cs, buf, index_lc, index_val, label):
+        ind = indicator(cs, index_lc, len(buf), label + ".ind")
+        acc = cs.constant(0)
+        for i in range(len(buf)):
+            acc = acc + cs.mul(ind[i], buf.lcs[i], "%s[%d]" % (label, i))
+        val = buf.vals[index_val] if index_val < len(buf) else 0
+        return acc, val
+
+    def _derive_offsets(self, cs, name_buf, name_len, label):
+        """offset[level] of each suffix of D in its wire form.
+
+        offset[depth] = 0 (D itself); offset[0] = name_len - 1 (the root's
+        empty name, i.e. the terminal zero byte).  Each step adds the label
+        length byte + 1, a linear derivation that is sound by construction.
+        """
+        offsets = {self.shape.depth: (cs.constant(0), 0)}
+        cur_lc, cur_val = cs.constant(0), 0
+        for level in range(self.shape.depth, 0, -1):
+            len_lc, len_val = self._byte_at(
+                cs, name_buf, cur_lc, cur_val, "%s%d" % (label, level)
+            )
+            cur_lc = cur_lc + len_lc + 1
+            cur_val = cur_val + len_val + 1
+            offsets[level - 1] = (cur_lc, cur_val)
+        cs.enforce_equal(cur_lc, name_len - 1, label + ".terminal")
+        return offsets
+
+    def _suffix_equal(self, cs, buf, region_start_fixed, name_buf, name_len,
+                      offset, label):
+        """Enforce buf[region_start:] == D_wire[offset:name_len] (masked).
+
+        Returns the suffix length as (lc, value).
+        """
+        o_lc, o_val = offset
+        n_lc = name_len - o_lc
+        n_val = self._name_len_val - o_val
+        suffix = self._slice(cs, name_buf, o_lc, o_val, NAME_CAPACITY, label + ".sfx")
+        region = buf.fixed(region_start_fixed, NAME_CAPACITY)
+        a = self._mask(cs, region.lcs, n_lc, label + ".ma")
+        b = self._mask(cs, suffix.lcs, n_lc, label + ".mb")
+        for i in range(NAME_CAPACITY):
+            cs.enforce_equal(a[i], b[i], "%s.eq%d" % (label, i))
+        return n_lc, n_val
+
+    def _hash_buffer(self, cs, buf, length_lc, length_val, capacity, label):
+        """Hash buf[:length] with the profile's signing hash; byte output."""
+        if len(buf) != capacity:
+            raise SynthesisError("buffer/capacity mismatch")
+        masked = self._mask(cs, buf.lcs, length_lc, label + ".m")
+        sep = indicator(cs, length_lc, capacity, label + ".sep")
+        padded_lcs = [masked[i] + sep[i] * 0x80 for i in range(capacity)]
+        padded_vals = [
+            (buf.vals[i] if i < length_val else 0)
+            + (0x80 if i == length_val else 0)
+            for i in range(capacity)
+        ]
+        if self.shape.profile.name == "toy":
+            return toyhash_gadget(
+                cs, padded_lcs, padded_vals, length_lc, length_val, label + ".h"
+            )
+        # production: SHA-256; the var gadget does its own masking/padding,
+        # so feed it the raw buffer and length
+        words, digest = sha256_var_gadget(
+            cs,
+            buf.lcs,
+            buf.vals,
+            length_lc,
+            length_val,
+            rounds=self.shape.profile.sha_rounds,
+            label=label + ".sha",
+        )
+        byte_lcs = []
+        for w_i, word in enumerate(words):
+            bits = bit_decompose(cs, word, 32, "%s.wb%d" % (label, w_i))
+            for b_i in range(4):
+                lo = 8 * (3 - b_i)
+                lc = None
+                for k in range(8):
+                    term = bits[lo + k] * (1 << k)
+                    lc = term if lc is None else lc + term
+                byte_lcs.append(lc)
+        return byte_lcs, list(digest)
+
+    def _point_from_bytes(self, cs, key_bytes, label):
+        shape = self.shape
+        cb = shape.coord_bytes
+        ccfg = shape.curve_config
+        x_li = LimbInt.from_bytes_be(
+            cs, key_bytes.lcs[:cb], key_bytes.vals[:cb], ccfg.limb_bits
+        )
+        y_li = LimbInt.from_bytes_be(
+            cs, key_bytes.lcs[cb : 2 * cb], key_bytes.vals[cb : 2 * cb], ccfg.limb_bits
+        )
+        x_int = int.from_bytes(bytes(key_bytes.vals[:cb]), "big")
+        y_int = int.from_bytes(bytes(key_bytes.vals[cb : 2 * cb]), "big")
+        point = shape.profile.curve.point(x_int, y_int)
+        var = PointVar(x_li, y_li, point)
+        assert_on_curve(cs, ccfg, var, label + ".oc")
+        return var
+
+    def _verify_sig_over_buffer(self, cs, digest, pub_point, signature, label):
+        """digest (byte lcs/vals) + signature bytes -> ECDSA verification."""
+        shape = self.shape
+        ccfg = shape.curve_config
+        n = ccfg.n
+        digest_lcs, digest_vals = digest
+        digest_int = int.from_bytes(bytes(digest_vals), "big")
+        total_bits = 8 * len(digest_vals)
+        excess = total_bits - n.bit_length()
+        packed = None
+        for lc in digest_lcs:
+            packed = lc if packed is None else packed * 256 + lc
+        if excess > 0:
+            h_val = digest_int >> excess
+            h_wire = cs.alloc(h_val, label + ".h")
+            low_wire = cs.alloc(digest_int & ((1 << excess) - 1), label + ".hl")
+            bit_decompose(cs, low_wire, excess, label + ".hlrc")
+            bit_decompose(cs, h_wire, n.bit_length(), label + ".hrc")
+            cs.enforce_equal(
+                h_wire * (1 << excess) + low_wire, packed, label + ".hsplit"
+            )
+            h_li = LimbInt(
+                [h_wire], ccfg.limb_bits, [(0, (1 << n.bit_length()) - 1)], [h_val]
+            )
+        else:
+            # digest fits (production: 256-bit digest, 256-bit order); use
+            # the packed bytes directly as a multi-limb scalar
+            h_li = LimbInt.from_bytes_be(
+                cs, digest_lcs, digest_vals, ccfg.limb_bits
+            )
+        cb = (n.bit_length() + 7) // 8
+        r_int = int.from_bytes(signature[:cb], "big")
+        s_int = int.from_bytes(signature[cb:], "big")
+        r_li = LimbInt.alloc(cs, r_int, ccfg.limb_bits, ccfg.scalar_limbs, label + ".r")
+        s_li = LimbInt.alloc(cs, s_int, ccfg.limb_bits, ccfg.scalar_limbs, label + ".s")
+        technique = "nope" if shape.crypto == "nope" else "baseline"
+        verify_ecdsa(
+            cs, ccfg, pub_point, h_li, r_li, s_li, label + ".e", technique=technique
+        )
+
+    def _ksk_knowledge(self, cs, witness, label):
+        """S_KSK.K: prove knowledge of d with K = d*G; return K's bytes."""
+        shape = self.shape
+        ccfg = shape.curve_config
+        priv = witness.ksk_private
+        # the scalar may exceed the R1CS field (P-256 order is 256-bit,
+        # BN254's Fr is ~254-bit): split across two wires
+        n_bits = ccfg.n.bit_length()
+        lo_bits = min(128, n_bits)
+        d_lo = cs.alloc(priv.d & ((1 << lo_bits) - 1), label + ".dlo")
+        bits = bit_decompose(cs, d_lo, lo_bits, label + ".blo")
+        if n_bits > lo_bits:
+            d_hi = cs.alloc(priv.d >> lo_bits, label + ".dhi")
+            bits = bits + bit_decompose(
+                cs, d_hi, n_bits - lo_bits, label + ".bhi"
+            )
+        point = fixed_base_mul(
+            cs, ccfg, bits, shape.profile.curve.generator, label=label + ".mul"
+        )
+        cb = shape.coord_bytes
+        pub = priv.public_key.point
+        raw = pub.x.to_bytes(cb, "big") + pub.y.to_bytes(cb, "big")
+        key_bytes = _Bytes(alloc_bytes(cs, raw, label + ".pub"), list(raw))
+        x_li = LimbInt.from_bytes_be(
+            cs, key_bytes.lcs[:cb], key_bytes.vals[:cb], ccfg.limb_bits
+        )
+        y_li = LimbInt.from_bytes_be(
+            cs, key_bytes.lcs[cb:], key_bytes.vals[cb:], ccfg.limb_bits
+        )
+        (point.x - x_li).assert_zero_mod(cs, ccfg.q, label + ".xeq")
+        (point.y - y_li).assert_zero_mod(cs, ccfg.q, label + ".yeq")
+        return key_bytes
+
+    def _parse_dnskey_buffer(self, cs, witness, level, name_buf, name_len,
+                             offsets, label):
+        """S_DNSKEY.P + digest for S_DNSKEY.S: parse zone ``level``'s DNSKEY
+        signed-data buffer; extract its ZSK point and KSK bytes."""
+        shape = self.shape
+        raw = witness.dnskey_buffers[level]
+        capacity = shape.sig_capacity
+        buf = _Bytes(
+            alloc_bytes(cs, _pad(raw, capacity, label), label), list(_pad(raw, capacity, label))
+        )
+        length_lc = cs.alloc(len(raw), label + ".len")
+        bit_decompose(cs, length_lc, 10, label + ".lenrc")
+        # type covered == DNSKEY
+        cs.enforce_equal(
+            buf.lcs[0] * 256 + buf.lcs[1], cs.constant(TYPE_DNSKEY), label + ".tc"
+        )
+        # signer name == this zone's suffix
+        self._name_len_val = len(witness.domain.to_wire())
+        n_lc, n_val = self._suffix_equal(
+            cs, buf, RRSIG_PREFIX_LEN, name_buf, name_len, offsets[level], label + ".signer"
+        )
+        # two records, both ECDSA keys of key_len: positions are linear
+        key_len = shape.key_len
+        rdlen = 4 + key_len
+        rec_a_start_lc = RRSIG_PREFIX_LEN + n_lc
+        rec_a_start_val = RRSIG_PREFIX_LEN + n_val
+        rec_b_start_lc = rec_a_start_lc + n_lc + 10 + rdlen
+        rec_b_start_val = rec_a_start_val + n_val + 10 + rdlen
+        # total length consistency
+        cs.enforce_equal(
+            length_lc,
+            RRSIG_PREFIX_LEN + n_lc + (n_lc + 10 + rdlen) * 2,
+            label + ".total",
+        )
+        rec_cap = NAME_CAPACITY + 10 + rdlen
+        rec_a = self._slice(cs, buf, rec_a_start_lc, rec_a_start_val, rec_cap, label + ".ra")
+        rec_b = self._slice(cs, buf, rec_b_start_lc, rec_b_start_val, rec_cap, label + ".rb")
+        fields = {}
+        for tag, rec, start_val in (("a", rec_a, rec_a_start_val), ("b", rec_b, rec_b_start_val)):
+            # owner == zone suffix
+            self._suffix_equal(
+                cs, rec, 0, name_buf, name_len, offsets[level], "%s.%s.owner" % (label, tag)
+            )
+            f = self._slice(cs, rec, n_lc, n_val, 10 + rdlen, "%s.%s.f" % (label, tag))
+            # type/class/rdlen/protocol/algorithm checks
+            cs.enforce_equal(f.lcs[0] * 256 + f.lcs[1], cs.constant(TYPE_DNSKEY), "%s.%s.t" % (label, tag))
+            cs.enforce_equal(f.lcs[2] * 256 + f.lcs[3], cs.constant(1), "%s.%s.c" % (label, tag))
+            cs.enforce_equal(f.lcs[8] * 256 + f.lcs[9], cs.constant(rdlen), "%s.%s.rl" % (label, tag))
+            cs.enforce_equal(f.lcs[12], cs.constant(3), "%s.%s.proto" % (label, tag))
+            cs.enforce_equal(
+                f.lcs[13], cs.constant(shape.profile.zone_algorithm), "%s.%s.alg" % (label, tag)
+            )
+            fields[tag] = f
+        # flags: one record is the KSK (257), the other the ZSK (256)
+        ksk_first = witness.ksk_first_flags[level]
+        flag_bit = cs.alloc(1 if ksk_first else 0, label + ".kskfirst")
+        cs.enforce_bool(flag_bit, label + ".kskfirst.b")
+        flags_a = fields["a"].lcs[10] * 256 + fields["a"].lcs[11]
+        flags_b = fields["b"].lcs[10] * 256 + fields["b"].lcs[11]
+        cs.enforce_equal(
+            flags_a, select(cs, flag_bit, 257, 256, label + ".fa"), label + ".fa.eq"
+        )
+        cs.enforce_equal(
+            flags_b, select(cs, flag_bit, 256, 257, label + ".fb"), label + ".fb.eq"
+        )
+        # key bytes: select per byte
+        ksk_lcs, ksk_vals, zsk_lcs, zsk_vals = [], [], [], []
+        for i in range(key_len):
+            a_lc = fields["a"].lcs[14 + i]
+            b_lc = fields["b"].lcs[14 + i]
+            a_v = fields["a"].vals[14 + i]
+            b_v = fields["b"].vals[14 + i]
+            ksk_lcs.append(select(cs, flag_bit, a_lc, b_lc, "%s.k%d" % (label, i)))
+            zsk_lcs.append(select(cs, flag_bit, b_lc, a_lc, "%s.z%d" % (label, i)))
+            ksk_vals.append(a_v if ksk_first else b_v)
+            zsk_vals.append(b_v if ksk_first else a_v)
+        ksk_bytes = _Bytes(ksk_lcs, ksk_vals)
+        zsk_bytes = _Bytes(zsk_lcs, zsk_vals)
+        zsk_point = self._point_from_bytes(cs, zsk_bytes, label + ".zskpt")
+        digest = self._hash_buffer(
+            cs, buf, length_lc, len(raw), capacity, label + ".dig"
+        )
+        return {
+            "buf": buf,
+            "length": length_lc,
+            "ksk_bytes": ksk_bytes,
+            "zsk_point": zsk_point,
+            "digest": digest,
+        }
+
+    def _ds_check(self, cs, witness, level, name_buf, name_len, offsets,
+                  child_ksk_bytes, signer_zsk_point, label):
+        """S_DS.P + S_KSK.H + S_DS.S for the DS RRset of zone ``level``."""
+        shape = self.shape
+        raw = witness.ds_buffers[level]
+        capacity = shape.sig_capacity
+        padded = _pad(raw, capacity, label)
+        buf = _Bytes(alloc_bytes(cs, padded, label), list(padded))
+        length_lc = cs.alloc(len(raw), label + ".len")
+        bit_decompose(cs, length_lc, 10, label + ".lenrc")
+        cs.enforce_equal(
+            buf.lcs[0] * 256 + buf.lcs[1], cs.constant(TYPE_DS), label + ".tc"
+        )
+        self._name_len_val = len(witness.domain.to_wire())
+        # signer = parent zone (level - 1)
+        np_lc, np_val = self._suffix_equal(
+            cs, buf, RRSIG_PREFIX_LEN, name_buf, name_len, offsets[level - 1],
+            label + ".signer",
+        )
+        # the single DS record: owner = this zone (level)
+        dlen = shape.digest_len
+        rec_cap = NAME_CAPACITY + 14 + dlen
+        rec_start_lc = RRSIG_PREFIX_LEN + np_lc
+        rec_start_val = RRSIG_PREFIX_LEN + np_val
+        rec = self._slice(cs, buf, rec_start_lc, rec_start_val, rec_cap, label + ".rec")
+        nc_lc, nc_val = self._suffix_equal(
+            cs, rec, 0, name_buf, name_len, offsets[level], label + ".owner"
+        )
+        f = self._slice(cs, rec, nc_lc, nc_val, 14 + dlen, label + ".f")
+        cs.enforce_equal(f.lcs[0] * 256 + f.lcs[1], cs.constant(TYPE_DS), label + ".t")
+        cs.enforce_equal(f.lcs[2] * 256 + f.lcs[3], cs.constant(1), label + ".c")
+        cs.enforce_equal(f.lcs[8] * 256 + f.lcs[9], cs.constant(4 + dlen), label + ".rl")
+        cs.enforce_equal(
+            f.lcs[12], cs.constant(shape.profile.zone_algorithm), label + ".alg"
+        )
+        cs.enforce_equal(
+            f.lcs[13], cs.constant(shape.profile.ds_digest_type), label + ".dt"
+        )
+        # total length: 18 + n_parent + n_child + 10 + 4 + dlen
+        cs.enforce_equal(
+            length_lc,
+            RRSIG_PREFIX_LEN + np_lc + nc_lc + 14 + dlen,
+            label + ".total",
+        )
+        # ---- S_KSK.H: digest == H(owner wire || DNSKEY RDATA of child KSK)
+        self._ksk_hash_check(
+            cs, witness, level, name_buf, name_len, offsets, child_ksk_bytes,
+            f, dlen, label + ".kh"
+        )
+        # ---- S_DS.S: signature over the buffer
+        digest = self._hash_buffer(cs, buf, length_lc, len(raw), capacity, label + ".dig")
+        if level == 1:
+            self._verify_root_rsa(cs, witness, digest, label + ".rsa")
+        else:
+            self._verify_sig_over_buffer(
+                cs, digest, signer_zsk_point, witness.ds_signatures[level], label + ".sig"
+            )
+
+    def _ksk_hash_check(self, cs, witness, level, name_buf, name_len, offsets,
+                        ksk_bytes, ds_fields, dlen, label):
+        shape = self.shape
+        cap = shape.ds_capacity
+        o_lc, o_val = offsets[level]
+        nc_lc = name_len - o_lc
+        nc_val = self._name_len_val - o_val
+        # owner wire bytes, masked
+        suffix = self._slice(cs, name_buf, o_lc, o_val, NAME_CAPACITY, label + ".sfx")
+        owner_masked = self._mask(cs, suffix.lcs, nc_lc, label + ".om")
+        owner_vals = [
+            suffix.vals[i] if i < nc_val else 0 for i in range(NAME_CAPACITY)
+        ]
+        # DNSKEY RDATA of the KSK: flags 257 | proto 3 | alg | key
+        rdata_lcs = [
+            cs.constant(1),
+            cs.constant(1),
+            cs.constant(3),
+            cs.constant(shape.profile.zone_algorithm),
+        ] + ksk_bytes.lcs
+        rdata_vals = [1, 1, 3, shape.profile.zone_algorithm] + ksk_bytes.vals
+        placed = place_at_dynamic(cs, rdata_lcs, nc_lc, cap, label + ".pl")
+        input_lcs = [
+            (owner_masked[i] if i < NAME_CAPACITY else cs.constant(0)) + placed[i]
+            for i in range(cap)
+        ]
+        input_vals = [0] * cap
+        for i in range(cap):
+            v = owner_vals[i] if i < NAME_CAPACITY else 0
+            j = i - nc_val
+            if 0 <= j < len(rdata_vals):
+                v += rdata_vals[j]
+            input_vals[i] = v
+        total_len_lc = nc_lc + len(rdata_lcs)
+        total_len_val = nc_val + len(rdata_vals)
+        digest = self._hash_with_capacity(
+            cs, input_lcs, input_vals, total_len_lc, total_len_val, cap, label + ".h"
+        )
+        digest_lcs, digest_vals = digest
+        for i in range(dlen):
+            cs.enforce_equal(
+                ds_fields.lcs[14 + i], digest_lcs[i], "%s.eq%d" % (label, i)
+            )
+
+    def _hash_with_capacity(self, cs, lcs, vals, length_lc, length_val, cap, label):
+        sep = indicator(cs, length_lc, cap, label + ".sep")
+        padded_lcs = [lcs[i] + sep[i] * 0x80 for i in range(cap)]
+        padded_vals = [
+            vals[i] + (0x80 if i == length_val else 0) for i in range(cap)
+        ]
+        if self.shape.profile.name == "toy":
+            return toyhash_gadget(cs, padded_lcs, padded_vals, length_lc, length_val, label)
+        words, digest = sha256_var_gadget(
+            cs, lcs, vals, length_lc, length_val,
+            rounds=self.shape.profile.sha_rounds, label=label + ".sha"
+        )
+        byte_lcs = []
+        for w_i, word in enumerate(words):
+            bits = bit_decompose(cs, word, 32, "%s.wb%d" % (label, w_i))
+            for b_i in range(4):
+                lo = 8 * (3 - b_i)
+                lc = None
+                for k in range(8):
+                    term = bits[lo + k] * (1 << k)
+                    lc = term if lc is None else lc + term
+                byte_lcs.append(lc)
+        return byte_lcs, list(digest)
+
+    def _txt_check(self, cs, witness, name_buf, name_len, offsets, zsk_point,
+                   t_in, n_in, ts_in, label):
+        """App. A's S_TXT: the TXT RRset on D carries H(T || N || TS) and is
+        signed by D's ZSK.  Unlike the base statement, T/N/TS are *used* by
+        the logic here (no zero-knowledge required, per the paper)."""
+        shape = self.shape
+        from ..dns.records import TYPE_TXT
+
+        raw = witness.txt_buffer
+        if raw is None:
+            raise SynthesisError("managed witness lacks the TXT buffer")
+        capacity = shape.sig_capacity
+        padded = _pad(raw, capacity, label)
+        buf = _Bytes(alloc_bytes(cs, padded, label), list(padded))
+        length_lc = cs.alloc(len(raw), label + ".len")
+        bit_decompose(cs, length_lc, 10, label + ".lenrc")
+        cs.enforce_equal(
+            buf.lcs[0] * 256 + buf.lcs[1], cs.constant(TYPE_TXT), label + ".tc"
+        )
+        self._name_len_val = len(witness.domain.to_wire())
+        # signer and owner are both D itself (offsets[depth] = 0)
+        nd_lc, nd_val = self._suffix_equal(
+            cs, buf, RRSIG_PREFIX_LEN, name_buf, name_len,
+            offsets[shape.depth], label + ".signer",
+        )
+        dlen = shape.digest_len
+        rec_cap = NAME_CAPACITY + 11 + dlen
+        rec = self._slice(
+            cs, buf, RRSIG_PREFIX_LEN + nd_lc, RRSIG_PREFIX_LEN + nd_val,
+            rec_cap, label + ".rec",
+        )
+        self._suffix_equal(
+            cs, rec, 0, name_buf, name_len, offsets[shape.depth], label + ".owner"
+        )
+        f = self._slice(cs, rec, nd_lc, nd_val, 11 + dlen, label + ".f")
+        cs.enforce_equal(f.lcs[0] * 256 + f.lcs[1], cs.constant(TYPE_TXT), label + ".t")
+        cs.enforce_equal(f.lcs[2] * 256 + f.lcs[3], cs.constant(1), label + ".c")
+        cs.enforce_equal(f.lcs[8] * 256 + f.lcs[9], cs.constant(1 + dlen), label + ".rl")
+        cs.enforce_equal(f.lcs[10], cs.constant(dlen), label + ".sl")
+        cs.enforce_equal(
+            length_lc,
+            RRSIG_PREFIX_LEN + nd_lc * 2 + 11 + dlen,
+            label + ".total",
+        )
+        # the TXT payload must equal H(T-digest || N-digest || TS)
+        binding_lcs, binding_vals = self._binding_digest_circuit(
+            cs, t_in, n_in, ts_in, label + ".bind"
+        )
+        for i in range(dlen):
+            cs.enforce_equal(f.lcs[11 + i], binding_lcs[i], "%s.eq%d" % (label, i))
+        # and the RRset is signed by D's ZSK
+        digest = self._hash_buffer(cs, buf, length_lc, len(raw), capacity, label + ".dig")
+        self._verify_sig_over_buffer(
+            cs, digest, zsk_point, witness.txt_signature, label + ".sig"
+        )
+
+    def _binding_digest_circuit(self, cs, t_in, n_in, ts_in, label):
+        """In-circuit H(T-digest || N-digest || TS) for the managed TXT."""
+        shape = self.shape
+        dlen = shape.digest_len
+        t_bits = bit_decompose(cs, t_in, 8 * dlen, label + ".tb")
+        n_bits = bit_decompose(cs, n_in, 8 * dlen, label + ".nb")
+        ts_bits = bit_decompose(cs, ts_in, 32, label + ".sb")
+        byte_lcs, byte_vals = [], []
+        for src_bits, src_val, nbytes in (
+            (t_bits, cs.lc_value(t_in), dlen),
+            (n_bits, cs.lc_value(n_in), dlen),
+            (ts_bits, cs.lc_value(ts_in), 4),
+        ):
+            for b_i in range(nbytes):
+                lo = 8 * (nbytes - 1 - b_i)
+                lc = None
+                for k in range(8):
+                    term = src_bits[lo + k] * (1 << k)
+                    lc = term if lc is None else lc + term
+                byte_lcs.append(lc)
+                byte_vals.append((src_val >> lo) & 0xFF)
+        cap = managed_binding_capacity(shape.profile)
+        total = len(byte_lcs)
+        pad = [cs.constant(0)] * (cap - total)
+        return self._hash_with_capacity(
+            cs, byte_lcs + pad, byte_vals + [0] * (cap - total),
+            cs.constant(total), total, cap, label + ".h",
+        )
+
+    def _verify_root_rsa(self, cs, witness, digest, label):
+        shape = self.shape
+        digest_lcs, digest_vals = digest
+        sig = witness.ds_signatures[1]
+        modulus = witness.root_modulus
+        limb_bits = 32
+        num_limbs = (modulus.bit_length() + limb_bits - 1) // limb_bits
+        s_li = LimbInt.alloc(
+            cs, int.from_bytes(sig, "big"), limb_bits, num_limbs, label + ".s"
+        )
+        em_len = (modulus.bit_length() + 7) // 8
+        if shape.profile.name == "toy":
+            # toy root signs with the raw-digest scheme: zero padding
+            prefix = b"\x00" * (em_len - len(digest_vals))
+        else:
+            # production: EMSA-PKCS1-v1_5 with the SHA-256 DigestInfo
+            from ..sig.rsa import emsa_pkcs1_v15
+
+            prefix = emsa_pkcs1_v15(bytes(digest_vals), em_len)[
+                : em_len - len(digest_vals)
+            ]
+        verify_rsa_pkcs1(
+            cs,
+            s_li,
+            modulus,
+            list(zip(digest_lcs, digest_vals)),
+            prefix,
+            limb_bits,
+            label,
+            naive=(shape.crypto != "nope"),
+        )

@@ -1,0 +1,21 @@
+"""Cost models and constraint counting for the Figure 6 / §8.3 benches."""
+
+from .counts import (
+    LEVELS,
+    count_binding_signature,
+    count_statement,
+    ecdsa_vs_rsa_counts,
+    figure6_counts,
+)
+from .model import PAPER_MODEL, LinearCostModel, calibrate_local_model
+
+__all__ = [
+    "figure6_counts",
+    "count_statement",
+    "count_binding_signature",
+    "ecdsa_vs_rsa_counts",
+    "LEVELS",
+    "PAPER_MODEL",
+    "LinearCostModel",
+    "calibrate_local_model",
+]

@@ -1,0 +1,85 @@
+"""Constraint-count -> prover cost models (paper §8.3 methodology).
+
+Figure 6's time/memory columns are, in the paper's own words, produced by
+"an experimentally derived model relating m to real performance".  Both
+columns in the paper are almost exactly linear in m:
+
+    486 s / 10.15 M = 47.88 us per constraint
+     54 s /  1.13 M = 47.79 us per constraint     (same slope!)
+    17.80 GB / 10.15 M = 1.754 KB per constraint
+     1.99 GB /  1.13 M = 1.761 KB per constraint
+
+so :data:`PAPER_MODEL` uses those slopes, anchored to the paper's platform
+(bellman prover, e2-highmem-2, single thread).  :class:`LocalModel`
+calibrates the same shape against *this* repository's pure-Python prover,
+for projecting local end-to-end times.
+"""
+
+import time
+
+
+class LinearCostModel:
+    """time = t_slope * m, memory = m_slope * m (+ intercepts)."""
+
+    def __init__(self, name, seconds_per_constraint, bytes_per_constraint,
+                 t_intercept=0.0, mem_intercept=0.0):
+        self.name = name
+        self.seconds_per_constraint = seconds_per_constraint
+        self.bytes_per_constraint = bytes_per_constraint
+        self.t_intercept = t_intercept
+        self.mem_intercept = mem_intercept
+
+    def prove_seconds(self, m):
+        return self.t_intercept + self.seconds_per_constraint * m
+
+    def prove_gigabytes(self, m):
+        return (self.mem_intercept + self.bytes_per_constraint * m) / 1e9
+
+    def describe(self, m):
+        return "m=%.2fM -> %.0f s, %.2f GB" % (
+            m / 1e6,
+            self.prove_seconds(m),
+            self.prove_gigabytes(m),
+        )
+
+
+#: Calibrated against the paper's published (m, time, memory) pairs.
+PAPER_MODEL = LinearCostModel(
+    "paper-bellman-e2-highmem-2",
+    seconds_per_constraint=47.85e-6,
+    bytes_per_constraint=1757.0,
+)
+
+
+def calibrate_local_model(sizes=(2000, 8000)):
+    """Fit a LinearCostModel by timing this repo's Groth16 prover.
+
+    Builds multiplication-chain circuits of the given sizes, runs
+    setup+prove, and fits the time slope (memory is estimated from object
+    counts; pure-Python memory accounting is approximate).
+    """
+    from ..ec.curves import BN254_R
+    from ..field import PrimeField
+    from ..groth16 import prove, setup
+    from ..r1cs import ConstraintSystem
+
+    field = PrimeField(BN254_R)
+    points = []
+    for m in sizes:
+        cs = ConstraintSystem(field)
+        x = cs.alloc(3)
+        acc = x
+        for _ in range(m - 1):
+            acc = cs.mul(acc, x)
+        cs.enforce_equal(acs := acc, acc)  # noqa: F841 (one final constraint)
+        pk, vk, _ = setup(cs)
+        t0 = time.time()
+        prove(pk, cs)
+        points.append((cs.num_constraints, time.time() - t0))
+    (m1, t1), (m2, t2) = points[0], points[-1]
+    slope = (t2 - t1) / (m2 - m1)
+    intercept = max(0.0, t1 - slope * m1)
+    # rough memory slope: ~6 python objects per constraint at ~100 B each
+    return LinearCostModel(
+        "local-pure-python", slope, 600.0, t_intercept=intercept
+    )

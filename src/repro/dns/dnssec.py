@@ -1,0 +1,243 @@
+"""DNSSEC signing and validation (RFC 4034 semantics).
+
+The algorithm registry carries both the production algorithms the paper's
+evaluation uses (8 = RSA/SHA-256 for the root ZSK, 13 = ECDSA P-256/SHA-256
+for everything else — §8's setup) and the scaled-profile algorithms
+(230 = ECDSA over the 29-bit toy curve with the fixed-capacity sponge hash,
+231 = RSA-96 with the same hash).  The toy algorithms hash with a *fixed*
+buffer capacity so the in-circuit hash gadget sees a compile-time shape.
+"""
+
+import struct
+
+from ..ec import P256, TOY29
+from ..errors import DnssecError, SignatureError
+from ..gadgets.toyhash import toyhash_padded
+from ..hashes.sha256 import sha256
+from ..sig.ecdsa import EcdsaPrivateKey, EcdsaPublicKey, bits2int, signature_from_bytes, signature_to_bytes
+from ..sig.rsa import RsaPrivateKey, RsaPublicKey
+from .records import (
+    DnskeyData,
+    DsData,
+    KSK_FLAGS,
+    RrsigData,
+    TYPE_DNSKEY,
+    ZSK_FLAGS,
+)
+
+# Algorithm numbers (8, 13 per IANA; 230/231 in the private-use range)
+ALG_RSASHA256 = 8
+ALG_ECDSAP256SHA256 = 13
+ALG_TOY_ECDSA = 230
+ALG_TOY_RSA = 231
+
+# DS digest types (2 per IANA; 252 private-use)
+DIGEST_SHA256 = 2
+DIGEST_TOYHASH = 252
+
+#: Fixed hash capacities for the toy algorithms (compile-time circuit shape).
+TOY_SIG_CAPACITY = 256
+TOY_DS_CAPACITY = 64
+
+#: Digest byte lengths by digest type.
+DIGEST_SIZES = {DIGEST_SHA256: 32, DIGEST_TOYHASH: 8}
+
+
+def _rsa_pub_to_wire(pub):
+    """RFC 3110 wire format: exponent length, exponent, modulus."""
+    exp = pub.e.to_bytes((pub.e.bit_length() + 7) // 8, "big")
+    mod = pub.n.to_bytes(pub.byte_length, "big")
+    if len(exp) < 256:
+        return bytes([len(exp)]) + exp + mod
+    return b"\x00" + struct.pack(">H", len(exp)) + exp + mod
+
+
+def _rsa_pub_from_wire(data):
+    if not data:
+        raise DnssecError("empty RSA key")
+    if data[0] == 0:
+        exp_len = struct.unpack(">H", data[1:3])[0]
+        off = 3
+    else:
+        exp_len = data[0]
+        off = 1
+    exp = int.from_bytes(data[off : off + exp_len], "big")
+    mod = int.from_bytes(data[off + exp_len :], "big")
+    return RsaPublicKey(mod, exp)
+
+
+class _EcdsaAlgorithm:
+    """Shared implementation for ECDSA-based DNSSEC algorithms."""
+
+    def __init__(self, number, name, curve, hash_fn):
+        self.number = number
+        self.name = name
+        self.curve = curve
+        self.hash_fn = hash_fn
+        self.coord_bytes = curve.field.byte_length
+
+    def generate(self):
+        return EcdsaPrivateKey.generate(self.curve)
+
+    def public_wire(self, private):
+        return private.public_key.encode()
+
+    def sign(self, private, data):
+        sig = private.sign(self.hash_fn(data))
+        return signature_to_bytes(self.curve, sig)
+
+    def verify(self, public_wire, data, signature):
+        pub = EcdsaPublicKey.decode(self.curve, public_wire)
+        sig = signature_from_bytes(self.curve, signature)
+        pub.verify(self.hash_fn(data), sig)
+
+    def hash_to_scalar(self, data):
+        return bits2int(self.hash_fn(data), self.curve.order)
+
+
+class _RsaAlgorithm:
+    def __init__(self, number, name, bits, scheme, hash_fn=None):
+        self.number = number
+        self.name = name
+        self.bits = bits
+        self.scheme = scheme
+        self.hash_fn = hash_fn  # None => scheme hashes internally
+
+    def generate(self):
+        return RsaPrivateKey.generate(self.bits)
+
+    def public_wire(self, private):
+        return _rsa_pub_to_wire(private.public_key)
+
+    def _payload(self, data):
+        return self.hash_fn(data) if self.hash_fn else data
+
+    def sign(self, private, data):
+        return private.sign(self._payload(data), scheme=self.scheme)
+
+    def verify(self, public_wire, data, signature):
+        pub = _rsa_pub_from_wire(public_wire)
+        pub.verify(self._payload(data), signature, scheme=self.scheme)
+
+
+ALGORITHMS = {
+    ALG_RSASHA256: _RsaAlgorithm(
+        ALG_RSASHA256, "RSASHA256", 2048, "pkcs1v15-sha256"
+    ),
+    ALG_ECDSAP256SHA256: _EcdsaAlgorithm(
+        ALG_ECDSAP256SHA256, "ECDSAP256SHA256", P256, sha256
+    ),
+    ALG_TOY_ECDSA: _EcdsaAlgorithm(
+        ALG_TOY_ECDSA,
+        "TOY-ECDSA",
+        TOY29,
+        lambda data: toyhash_padded(data, TOY_SIG_CAPACITY),
+    ),
+    ALG_TOY_RSA: _RsaAlgorithm(
+        ALG_TOY_RSA,
+        "TOY-RSA",
+        96,
+        "raw-digest",
+        lambda data: toyhash_padded(data, TOY_SIG_CAPACITY),
+    ),
+}
+
+
+def ds_digest(owner_name, dnskey_data, digest_type):
+    """The DS digest: H(owner wire || DNSKEY RDATA) (RFC 4034 §5.1.4)."""
+    payload = owner_name.to_wire() + dnskey_data.to_bytes()
+    if digest_type == DIGEST_SHA256:
+        return sha256(payload)
+    if digest_type == DIGEST_TOYHASH:
+        return toyhash_padded(payload, TOY_DS_CAPACITY)
+    raise DnssecError("unsupported DS digest type %d" % digest_type)
+
+
+def make_ds(owner_name, dnskey_data, digest_type):
+    return DsData(
+        dnskey_data.key_tag(),
+        dnskey_data.algorithm,
+        digest_type,
+        ds_digest(owner_name, dnskey_data, digest_type),
+    )
+
+
+class DnssecKey:
+    """A DNSSEC key pair: algorithm implementation + flags (KSK/ZSK)."""
+
+    def __init__(self, algorithm_number, private, is_ksk):
+        if algorithm_number not in ALGORITHMS:
+            raise DnssecError("unknown algorithm %d" % algorithm_number)
+        self.algorithm = algorithm_number
+        self.impl = ALGORITHMS[algorithm_number]
+        self.private = private
+        self.is_ksk = is_ksk
+
+    @classmethod
+    def generate(cls, algorithm_number, is_ksk):
+        impl = ALGORITHMS.get(algorithm_number)
+        if impl is None:
+            raise DnssecError("unknown algorithm %d" % algorithm_number)
+        return cls(algorithm_number, impl.generate(), is_ksk)
+
+    def dnskey(self):
+        return DnskeyData(
+            KSK_FLAGS if self.is_ksk else ZSK_FLAGS,
+            self.algorithm,
+            self.impl.public_wire(self.private),
+        )
+
+    def key_tag(self):
+        return self.dnskey().key_tag()
+
+
+def sign_rrset(rrset, signer_name, key, inception, expiration):
+    """Create and attach an RRSIG over the RRset (RFC 4034 §3.1.8.1)."""
+    rrsig = RrsigData(
+        type_covered=rrset.rtype,
+        algorithm=key.algorithm,
+        labels=rrset.name.depth,
+        original_ttl=rrset.ttl,
+        expiration=expiration,
+        inception=inception,
+        key_tag=key.key_tag(),
+        signer_name=signer_name,
+        signature=b"",
+    )
+    data = rrset.signed_data(rrsig)
+    rrsig.signature = key.impl.sign(key.private, data)
+    rrset.rrsigs.append(rrsig)
+    return rrsig
+
+
+def verify_rrsig(rrset, rrsig, dnskey_data, now=None):
+    """Validate one RRSIG against one DNSKEY; raises DnssecError."""
+    if dnskey_data.algorithm != rrsig.algorithm:
+        raise DnssecError("algorithm mismatch")
+    if dnskey_data.key_tag() != rrsig.key_tag:
+        raise DnssecError("key tag mismatch")
+    if not rrset.name.is_subdomain_of(rrsig.signer_name):
+        raise DnssecError("signer is not an ancestor of the owner")
+    if now is not None and not (rrsig.inception <= now <= rrsig.expiration):
+        raise DnssecError("signature outside its validity window")
+    impl = ALGORITHMS.get(rrsig.algorithm)
+    if impl is None:
+        raise DnssecError("unsupported algorithm %d" % rrsig.algorithm)
+    data = rrset.signed_data(rrsig)
+    try:
+        impl.verify(dnskey_data.public_key, data, rrsig.signature)
+    except SignatureError as exc:
+        raise DnssecError("RRSIG signature invalid: %s" % exc) from exc
+
+
+def verify_rrset(rrset, dnskey_rrset_datas, now=None):
+    """Validate an RRset against any key in a DNSKEY RRset."""
+    errors = []
+    for rrsig in rrset.rrsigs:
+        for key_data in dnskey_rrset_datas:
+            try:
+                verify_rrsig(rrset, rrsig, key_data, now)
+                return rrsig, key_data
+            except DnssecError as exc:
+                errors.append(str(exc))
+    raise DnssecError("no RRSIG validated: %s" % "; ".join(errors[:4]))

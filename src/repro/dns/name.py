@@ -1,0 +1,114 @@
+"""Domain names: parsing, canonical (RFC 4034 §6) form, wire format."""
+
+from ..errors import EncodingError
+
+MAX_LABEL = 63
+MAX_NAME = 255
+
+
+class DomainName:
+    """An absolute DNS name as a tuple of label byte strings (no root label).
+
+    ``DomainName.parse("Example.COM.")`` and ``parse("example.com")`` both
+    yield the canonical (lower-cased) name; the root is the empty tuple.
+    """
+
+    __slots__ = ("labels",)
+
+    def __init__(self, labels):
+        total = 1  # trailing root byte
+        canon = []
+        for label in labels:
+            if isinstance(label, str):
+                label = label.encode("ascii")
+            if not label or len(label) > MAX_LABEL:
+                raise EncodingError("bad label length")
+            canon.append(label.lower())
+            total += 1 + len(label)
+        if total > MAX_NAME:
+            raise EncodingError("name too long")
+        self.labels = tuple(canon)
+
+    @classmethod
+    def parse(cls, text):
+        if isinstance(text, bytes):
+            text = text.decode("ascii")
+        text = text.rstrip(".")
+        if not text:
+            return cls(())
+        return cls(tuple(part.encode("ascii") for part in text.split(".")))
+
+    @classmethod
+    def root(cls):
+        return cls(())
+
+    @property
+    def is_root(self):
+        return not self.labels
+
+    @property
+    def depth(self):
+        return len(self.labels)
+
+    def parent(self):
+        if self.is_root:
+            raise EncodingError("the root has no parent")
+        return DomainName(self.labels[1:])
+
+    def child(self, label):
+        if isinstance(label, str):
+            label = label.encode("ascii")
+        return DomainName((label,) + self.labels)
+
+    def is_subdomain_of(self, other):
+        if other.is_root:
+            return True
+        n = len(other.labels)
+        return len(self.labels) >= n and self.labels[-n:] == other.labels
+
+    def to_wire(self):
+        """Canonical wire form: length-prefixed lowercase labels + root."""
+        out = bytearray()
+        for label in self.labels:
+            out.append(len(label))
+            out.extend(label)
+        out.append(0)
+        return bytes(out)
+
+    @classmethod
+    def from_wire(cls, data, offset=0):
+        """Parse from wire format; returns (name, next_offset)."""
+        labels = []
+        pos = offset
+        while True:
+            if pos >= len(data):
+                raise EncodingError("truncated name")
+            length = data[pos]
+            pos += 1
+            if length == 0:
+                break
+            if length > MAX_LABEL:
+                raise EncodingError("bad label length (compression unsupported)")
+            if pos + length > len(data):
+                raise EncodingError("truncated label")
+            labels.append(data[pos : pos + length])
+            pos += length
+        return cls(tuple(labels)), pos
+
+    def __str__(self):
+        if self.is_root:
+            return "."
+        return ".".join(label.decode("ascii") for label in self.labels) + "."
+
+    def __repr__(self):
+        return "DomainName(%s)" % str(self)
+
+    def __eq__(self, other):
+        return isinstance(other, DomainName) and self.labels == other.labels
+
+    def __hash__(self):
+        return hash(self.labels)
+
+    def __lt__(self, other):
+        """Canonical DNS ordering (RFC 4034 §6.1): reversed label order."""
+        return self.labels[::-1] < other.labels[::-1]

@@ -1,0 +1,294 @@
+"""Resource records and typed RDATA (TXT, DNSKEY, DS, RRSIG).
+
+Wire formats follow RFC 1035 / RFC 4034; the typed classes serialize to and
+parse from RDATA bytes so the rest of the system (zone signing, the NOPE
+statement's parsers, DCE chain serialization) deals with real formats.
+"""
+
+import struct
+
+from ..errors import EncodingError
+from .name import DomainName
+
+# RR types (RFC 1035 / 4034 / 6698)
+TYPE_A = 1
+TYPE_TXT = 16
+TYPE_DS = 43
+TYPE_RRSIG = 46
+TYPE_DNSKEY = 48
+TYPE_TLSA = 52
+
+CLASS_IN = 1
+
+# DNSKEY flags
+FLAG_ZONE_KEY = 0x0100  # ZSK (bit 7)
+FLAG_SEP = 0x0001  # Secure Entry Point: set on KSKs
+KSK_FLAGS = FLAG_ZONE_KEY | FLAG_SEP  # 257
+ZSK_FLAGS = FLAG_ZONE_KEY  # 256
+
+DNSKEY_PROTOCOL = 3
+
+TYPE_NAMES = {
+    TYPE_A: "A",
+    TYPE_TXT: "TXT",
+    TYPE_DS: "DS",
+    TYPE_RRSIG: "RRSIG",
+    TYPE_DNSKEY: "DNSKEY",
+}
+
+
+class ResourceRecord:
+    """A single RR: owner name, type, class, TTL, raw RDATA."""
+
+    __slots__ = ("name", "rtype", "rclass", "ttl", "rdata")
+
+    def __init__(self, name, rtype, ttl, rdata, rclass=CLASS_IN):
+        self.name = name
+        self.rtype = rtype
+        self.rclass = rclass
+        self.ttl = ttl
+        self.rdata = rdata
+
+    def __eq__(self, other):
+        return isinstance(other, ResourceRecord) and (
+            self.name,
+            self.rtype,
+            self.rclass,
+            self.ttl,
+            self.rdata,
+        ) == (other.name, other.rtype, other.rclass, other.ttl, other.rdata)
+
+    def __repr__(self):
+        return "RR(%s %s %d bytes)" % (
+            self.name,
+            TYPE_NAMES.get(self.rtype, self.rtype),
+            len(self.rdata),
+        )
+
+    def to_wire(self, ttl_override=None):
+        ttl = self.ttl if ttl_override is None else ttl_override
+        return (
+            self.name.to_wire()
+            + struct.pack(">HHIH", self.rtype, self.rclass, ttl, len(self.rdata))
+            + self.rdata
+        )
+
+    @classmethod
+    def from_wire(cls, data, offset=0):
+        name, pos = DomainName.from_wire(data, offset)
+        if pos + 10 > len(data):
+            raise EncodingError("truncated RR header")
+        rtype, rclass, ttl, rdlen = struct.unpack(">HHIH", data[pos : pos + 10])
+        pos += 10
+        if pos + rdlen > len(data):
+            raise EncodingError("truncated RDATA")
+        return cls(name, rtype, ttl, data[pos : pos + rdlen], rclass), pos + rdlen
+
+
+class DnskeyData:
+    """DNSKEY RDATA: flags | protocol | algorithm | public key."""
+
+    __slots__ = ("flags", "protocol", "algorithm", "public_key")
+
+    def __init__(self, flags, algorithm, public_key, protocol=DNSKEY_PROTOCOL):
+        self.flags = flags
+        self.protocol = protocol
+        self.algorithm = algorithm
+        self.public_key = public_key
+
+    @property
+    def is_ksk(self):
+        return self.flags & FLAG_SEP != 0
+
+    @property
+    def is_zsk(self):
+        return self.flags & FLAG_ZONE_KEY != 0 and not self.is_ksk
+
+    def to_bytes(self):
+        return (
+            struct.pack(">HBB", self.flags, self.protocol, self.algorithm)
+            + self.public_key
+        )
+
+    @classmethod
+    def from_bytes(cls, data):
+        if len(data) < 4:
+            raise EncodingError("truncated DNSKEY RDATA")
+        flags, protocol, algorithm = struct.unpack(">HBB", data[:4])
+        return cls(flags, algorithm, data[4:], protocol)
+
+    def key_tag(self):
+        """RFC 4034 Appendix B key tag."""
+        data = self.to_bytes()
+        acc = 0
+        for i, byte in enumerate(data):
+            acc += byte if i & 1 else byte << 8
+        acc += (acc >> 16) & 0xFFFF
+        return acc & 0xFFFF
+
+
+class DsData:
+    """DS RDATA: key tag | algorithm | digest type | digest."""
+
+    __slots__ = ("key_tag", "algorithm", "digest_type", "digest")
+
+    def __init__(self, key_tag, algorithm, digest_type, digest):
+        self.key_tag = key_tag
+        self.algorithm = algorithm
+        self.digest_type = digest_type
+        self.digest = digest
+
+    def to_bytes(self):
+        return struct.pack(">HBB", self.key_tag, self.algorithm, self.digest_type) + self.digest
+
+    @classmethod
+    def from_bytes(cls, data):
+        if len(data) < 4:
+            raise EncodingError("truncated DS RDATA")
+        key_tag, algorithm, digest_type = struct.unpack(">HBB", data[:4])
+        return cls(key_tag, algorithm, digest_type, data[4:])
+
+
+class RrsigData:
+    """RRSIG RDATA (RFC 4034 §3.1)."""
+
+    __slots__ = (
+        "type_covered",
+        "algorithm",
+        "labels",
+        "original_ttl",
+        "expiration",
+        "inception",
+        "key_tag",
+        "signer_name",
+        "signature",
+    )
+
+    def __init__(
+        self,
+        type_covered,
+        algorithm,
+        labels,
+        original_ttl,
+        expiration,
+        inception,
+        key_tag,
+        signer_name,
+        signature,
+    ):
+        self.type_covered = type_covered
+        self.algorithm = algorithm
+        self.labels = labels
+        self.original_ttl = original_ttl
+        self.expiration = expiration
+        self.inception = inception
+        self.key_tag = key_tag
+        self.signer_name = signer_name
+        self.signature = signature
+
+    def prefix_bytes(self):
+        """RDATA with the signature field removed (what gets signed)."""
+        return (
+            struct.pack(
+                ">HBBIIIH",
+                self.type_covered,
+                self.algorithm,
+                self.labels,
+                self.original_ttl,
+                self.expiration,
+                self.inception,
+                self.key_tag,
+            )
+            + self.signer_name.to_wire()
+        )
+
+    def to_bytes(self):
+        return self.prefix_bytes() + self.signature
+
+    @classmethod
+    def from_bytes(cls, data):
+        if len(data) < 18:
+            raise EncodingError("truncated RRSIG RDATA")
+        (
+            type_covered,
+            algorithm,
+            labels,
+            original_ttl,
+            expiration,
+            inception,
+            key_tag,
+        ) = struct.unpack(">HBBIIIH", data[:18])
+        signer, pos = DomainName.from_wire(data, 18)
+        return cls(
+            type_covered,
+            algorithm,
+            labels,
+            original_ttl,
+            expiration,
+            inception,
+            key_tag,
+            signer,
+            data[pos:],
+        )
+
+
+class TlsaData:
+    """TLSA RDATA (RFC 6698): how DANE/DCE binds a TLS key to a name.
+
+    usage 3 (DANE-EE) + selector 1 (SubjectPublicKeyInfo) + matching 0
+    (exact) carries the raw TLS public key bytes.
+    """
+
+    __slots__ = ("usage", "selector", "matching_type", "cert_data")
+
+    def __init__(self, cert_data, usage=3, selector=1, matching_type=0):
+        self.usage = usage
+        self.selector = selector
+        self.matching_type = matching_type
+        self.cert_data = cert_data
+
+    def to_bytes(self):
+        return (
+            bytes([self.usage, self.selector, self.matching_type])
+            + self.cert_data
+        )
+
+    @classmethod
+    def from_bytes(cls, data):
+        if len(data) < 3:
+            raise EncodingError("truncated TLSA RDATA")
+        return cls(data[3:], data[0], data[1], data[2])
+
+
+class TxtData:
+    """TXT RDATA: a sequence of length-prefixed character strings."""
+
+    __slots__ = ("strings",)
+
+    def __init__(self, strings):
+        self.strings = [
+            s.encode("ascii") if isinstance(s, str) else s for s in strings
+        ]
+        for s in self.strings:
+            if len(s) > 255:
+                raise EncodingError("TXT string too long")
+
+    def to_bytes(self):
+        out = bytearray()
+        for s in self.strings:
+            out.append(len(s))
+            out.extend(s)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data):
+        strings = []
+        pos = 0
+        while pos < len(data):
+            length = data[pos]
+            pos += 1
+            if pos + length > len(data):
+                raise EncodingError("truncated TXT string")
+            strings.append(data[pos : pos + length])
+            pos += length
+        return cls(strings)

@@ -1,0 +1,237 @@
+"""The simulated DNS hierarchy, chain building, and chain validation.
+
+``DnsHierarchy`` plays the role of the global DNS: a set of signed zones
+from the root down.  ``fetch_chain`` performs step 1 of the NOPE protocol
+(Figure 2): collect the DS/DNSKEY RRsets and RRSIGs linking the root ZSK to
+the target domain's KSK.  ``validate_chain`` is the native (non-succinct)
+validation used by the DCE baseline and the DV+ CA.
+"""
+
+from ..errors import DnssecError
+from .dnssec import ds_digest, verify_rrset
+from .name import DomainName
+from .records import (
+    DnskeyData,
+    DsData,
+    TYPE_DNSKEY,
+    TYPE_DS,
+    TYPE_TLSA,
+    TlsaData,
+)
+from .rrset import RRset
+from .zone import Zone
+
+
+class ChainLink:
+    """Material for one zone on the path: its DNSKEY RRset and the DS RRset
+    for the *next* zone down (both with RRSIGs attached)."""
+
+    def __init__(self, zone_name, dnskey_rrset, child_ds_rrset):
+        self.zone_name = zone_name
+        self.dnskey_rrset = dnskey_rrset
+        self.child_ds_rrset = child_ds_rrset
+
+
+class DnssecChain:
+    """A root-to-domain chain of signed DS/DNSKEY RRsets.
+
+    ``links[0]`` is the top non-root zone (a TLD)... wait: links run from
+    the first zone below the root down to the target's parent; the DS for
+    the top zone (signed by the root ZSK) is ``root_ds_rrset``.  For DCE
+    the chain additionally carries the target zone's DNSKEY RRset and the
+    TLSA RRset binding the TLS key.
+    """
+
+    def __init__(self, target, root_ds_rrset, links, target_dnskey_rrset=None, tlsa_rrset=None, root_dnskey_rrset=None):
+        self.target = target
+        self.root_ds_rrset = root_ds_rrset
+        self.links = links
+        self.target_dnskey_rrset = target_dnskey_rrset
+        self.tlsa_rrset = tlsa_rrset
+        self.root_dnskey_rrset = root_dnskey_rrset
+
+    def all_rrsets(self):
+        out = []
+        if self.root_dnskey_rrset is not None:
+            out.append(self.root_dnskey_rrset)
+        out.append(self.root_ds_rrset)
+        for link in self.links:
+            out.append(link.dnskey_rrset)
+            out.append(link.child_ds_rrset)
+        if self.target_dnskey_rrset is not None:
+            out.append(self.target_dnskey_rrset)
+        if self.tlsa_rrset is not None:
+            out.append(self.tlsa_rrset)
+        return out
+
+    def wire_size(self):
+        """Bytes to ship this chain in a TLS extension (RFC 9102 style)."""
+        return sum(rrset.wire_size() for rrset in self.all_rrsets())
+
+
+class DnsHierarchy:
+    """All zones, keyed by name, with longest-match authority lookup."""
+
+    def __init__(self, root_zone):
+        if not root_zone.name.is_root:
+            raise DnssecError("hierarchy must be rooted at '.'")
+        self.zones = {root_zone.name: root_zone}
+
+    @property
+    def root(self):
+        return self.zones[DomainName.root()]
+
+    def add_zone(self, zone):
+        """Register a zone and delegate from its parent (DS record)."""
+        parent = self.zones.get(zone.name.parent())
+        if parent is None:
+            raise DnssecError("parent zone missing for %s" % zone.name)
+        self.zones[zone.name] = zone
+        parent.delegate(zone)
+        return zone
+
+    def zone_for(self, name):
+        """The most specific zone containing ``name``."""
+        probe = name
+        while True:
+            # a name's authoritative zone is the deepest zone that is an
+            # ancestor-or-self, except that delegation-point DS records
+            # live in the parent (handled by callers requesting TYPE_DS)
+            if probe in self.zones:
+                return self.zones[probe]
+            if probe.is_root:
+                raise DnssecError("no zone for %s" % name)
+            probe = probe.parent()
+
+    def sign_all(self, inception, expiration):
+        for zone in self.zones.values():
+            zone.sign(inception, expiration)
+
+    def lookup(self, owner, rtype):
+        """Authoritative lookup (DS records come from the parent zone)."""
+        if isinstance(owner, str):
+            owner = DomainName.parse(owner)
+        zone = self.zone_for(owner)
+        if rtype == TYPE_DS and zone.name == owner and not owner.is_root:
+            zone = self.zone_for(owner.parent())
+        return zone.get(owner, rtype)
+
+    def path_zones(self, domain):
+        """Zones from the first level below the root down to ``domain``."""
+        names = []
+        probe = domain
+        while not probe.is_root:
+            names.append(probe)
+            probe = probe.parent()
+        names.reverse()
+        zones = []
+        for name in names:
+            if name not in self.zones:
+                raise DnssecError("zone %s is not signed/present" % name)
+            zones.append(self.zones[name])
+        return zones
+
+    def fetch_chain(self, domain, for_dce=False):
+        """Step 1 of Figure 2: gather the DS chain for ``domain``.
+
+        For NOPE the chain stops at the DS RRset of the domain itself (the
+        statement proves knowledge of the matching KSK).  With
+        ``for_dce=True`` the target zone's DNSKEY and TLSA RRsets and the
+        root DNSKEY RRset are included, as RFC 9102 requires.
+        """
+        if isinstance(domain, str):
+            domain = DomainName.parse(domain)
+        path = self.path_zones(domain)
+        top = path[0]
+        root_ds = self.root.get(top.name, TYPE_DS)
+        links = []
+        for i, zone in enumerate(path[:-1]):
+            child = path[i + 1]
+            links.append(
+                ChainLink(
+                    zone.name,
+                    zone.dnskey_rrset(),
+                    zone.get(child.name, TYPE_DS),
+                )
+            )
+        target_zone = path[-1]
+        target_dnskey = None
+        tlsa = None
+        root_dnskey = None
+        if for_dce:
+            target_dnskey = target_zone.dnskey_rrset()
+            tlsa_name = domain.child(b"_tcp").child(b"_443")
+            try:
+                tlsa = target_zone.get(tlsa_name, TYPE_TLSA)
+            except DnssecError:
+                tlsa = None
+            root_dnskey = self.root.dnskey_rrset()
+        return DnssecChain(domain, root_ds, links, target_dnskey, tlsa, root_dnskey)
+
+    def publish_tlsa(self, domain, tls_key_bytes):
+        """Install a TLSA RRset for the domain (DCE server-side setup)."""
+        if isinstance(domain, str):
+            domain = DomainName.parse(domain)
+        zone = self.zones[domain]
+        tlsa_name = domain.child(b"_tcp").child(b"_443")
+        rrset = RRset(
+            tlsa_name, TYPE_TLSA, zone.ttl, [TlsaData(tls_key_bytes).to_bytes()]
+        )
+        zone.add_rrset(rrset)
+        return rrset
+
+
+def validate_chain(chain, trusted_root_zsk, now=None, expected_tls_key=None):
+    """Native top-down validation (what a DCE client or DV+ CA runs).
+
+    ``trusted_root_zsk``: the root's ZSK DnskeyData (the same trust anchor
+    the NOPE statement takes as public input).  Verifies every signature,
+    every DS digest, and optionally the TLSA binding of a TLS key.
+    """
+    # 1. the top DS RRset must be signed by the trusted root ZSK
+    verify_rrset(chain.root_ds_rrset, [trusted_root_zsk], now)
+    current_ds_datas = [DsData.from_bytes(r) for r in chain.root_ds_rrset.rdatas]
+    current_name = chain.root_ds_rrset.name
+    for link in chain.links:
+        _check_ds_match(current_name, current_ds_datas, link.dnskey_rrset)
+        key_datas = [DnskeyData.from_bytes(r) for r in link.dnskey_rrset.rdatas]
+        # DNSKEY RRset must be self-signed by the KSK matching the DS
+        verify_rrset(link.dnskey_rrset, [k for k in key_datas if k.is_ksk], now)
+        zsks = [k for k in key_datas if k.is_zsk]
+        verify_rrset(link.child_ds_rrset, zsks, now)
+        current_ds_datas = [
+            DsData.from_bytes(r) for r in link.child_ds_rrset.rdatas
+        ]
+        current_name = link.child_ds_rrset.name
+    if chain.target_dnskey_rrset is not None:
+        _check_ds_match(current_name, current_ds_datas, chain.target_dnskey_rrset)
+        key_datas = [
+            DnskeyData.from_bytes(r) for r in chain.target_dnskey_rrset.rdatas
+        ]
+        verify_rrset(
+            chain.target_dnskey_rrset, [k for k in key_datas if k.is_ksk], now
+        )
+        if chain.tlsa_rrset is not None:
+            zsks = [k for k in key_datas if k.is_zsk]
+            verify_rrset(chain.tlsa_rrset, zsks, now)
+            if expected_tls_key is not None:
+                tlsa = TlsaData.from_bytes(chain.tlsa_rrset.rdatas[0])
+                if tlsa.cert_data != expected_tls_key:
+                    raise DnssecError("TLSA does not match the TLS key")
+    return current_ds_datas
+
+
+def _check_ds_match(ds_name, ds_datas, dnskey_rrset):
+    """At least one DS digest must match a KSK in the child DNSKEY RRset."""
+    if dnskey_rrset.name != ds_name:
+        raise DnssecError("DS/DNSKEY name mismatch")
+    for rdata in dnskey_rrset.rdatas:
+        key = DnskeyData.from_bytes(rdata)
+        if not key.is_ksk:
+            continue
+        for ds in ds_datas:
+            if ds.key_tag != key.key_tag() or ds.algorithm != key.algorithm:
+                continue
+            if ds.digest == ds_digest(ds_name, key, ds.digest_type):
+                return
+    raise DnssecError("no DS digest matches the child KSK")

@@ -1,0 +1,90 @@
+"""RRsets and the RFC 4034 canonical signing buffer.
+
+An RRSIG covers a *set* of records of one type at one name (§2.2 of the
+paper).  The byte string that actually gets signed is
+
+    RRSIG_RDATA_prefix || sorted canonical RR wire forms
+
+with owner names lower-cased, the original TTL substituted, and RDATA
+sorted bytewise (RFC 4034 §3.1.8.1, §6.3).  This exact buffer is what the
+NOPE statement re-hashes inside the constraints.
+"""
+
+from ..errors import DnssecError
+from .name import DomainName
+from .records import ResourceRecord
+
+
+class RRset:
+    """All records sharing (name, type, class); carries its RRSIGs."""
+
+    def __init__(self, name, rtype, ttl, rdatas, rclass=1):
+        if not rdatas:
+            raise DnssecError("empty RRset")
+        self.name = name
+        self.rtype = rtype
+        self.ttl = ttl
+        self.rclass = rclass
+        self.rdatas = list(rdatas)
+        self.rrsigs = []  # list of RrsigData
+
+    @classmethod
+    def from_records(cls, records):
+        first = records[0]
+        for rr in records:
+            if (rr.name, rr.rtype, rr.rclass) != (
+                first.name,
+                first.rtype,
+                first.rclass,
+            ):
+                raise DnssecError("records do not form an RRset")
+        return cls(
+            first.name,
+            first.rtype,
+            min(r.ttl for r in records),
+            [r.rdata for r in records],
+            first.rclass,
+        )
+
+    def records(self):
+        return [
+            ResourceRecord(self.name, self.rtype, self.ttl, rdata, self.rclass)
+            for rdata in self.rdatas
+        ]
+
+    def sorted_rdatas(self):
+        """Canonical RDATA ordering (RFC 4034 §6.3: bytewise)."""
+        return sorted(self.rdatas)
+
+    def canonical_wire(self, original_ttl):
+        """Concatenated canonical RR wire forms for signing."""
+        out = bytearray()
+        for rdata in self.sorted_rdatas():
+            rr = ResourceRecord(self.name, self.rtype, original_ttl, rdata, self.rclass)
+            out.extend(rr.to_wire())
+        return bytes(out)
+
+    def signed_data(self, rrsig):
+        """The exact byte string the RRSIG's signature covers."""
+        if rrsig.type_covered != self.rtype:
+            raise DnssecError("RRSIG does not cover this RRset's type")
+        return rrsig.prefix_bytes() + self.canonical_wire(rrsig.original_ttl)
+
+    def __repr__(self):
+        return "RRset(%s type=%d n=%d sigs=%d)" % (
+            self.name,
+            self.rtype,
+            len(self.rdatas),
+            len(self.rrsigs),
+        )
+
+    def wire_size(self, include_rrsigs=True):
+        """Total bytes on the wire (for the DCE bandwidth comparison)."""
+        total = sum(len(rr.to_wire()) for rr in self.records())
+        if include_rrsigs:
+            from .records import TYPE_RRSIG
+
+            for sig in self.rrsigs:
+                rr = ResourceRecord(self.name, TYPE_RRSIG, self.ttl, sig.to_bytes())
+                total += len(rr.to_wire())
+        return total

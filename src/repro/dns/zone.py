@@ -1,0 +1,117 @@
+"""Zones: RRset storage, key management, DS delegation, zone signing."""
+
+from ..errors import DnssecError
+from .dnssec import DnssecKey, make_ds, sign_rrset
+from .name import DomainName
+from .records import (
+    DnskeyData,
+    TYPE_DNSKEY,
+    TYPE_DS,
+    TYPE_TXT,
+    TxtData,
+)
+from .rrset import RRset
+
+DEFAULT_TTL = 3600
+
+
+class Zone:
+    """A DNSSEC-enabled zone: one KSK, one ZSK, and its RRsets.
+
+    Following the paper's simplification (§2.2), each zone has exactly one
+    KSK and one ZSK.  The DNSKEY RRset is signed by the KSK; everything
+    else by the ZSK; the DS RRset *for a child* lives in this (the parent)
+    zone and is signed by this zone's ZSK.
+    """
+
+    def __init__(self, name, ksk, zsk, ds_digest_type, ttl=DEFAULT_TTL):
+        self.name = name
+        self.ksk = ksk
+        self.zsk = zsk
+        self.ds_digest_type = ds_digest_type
+        self.ttl = ttl
+        self.rrsets = {}  # (DomainName, rtype) -> RRset
+        self._install_dnskey_rrset()
+
+    @classmethod
+    def create(cls, name, algorithm, ds_digest_type, ttl=DEFAULT_TTL, zsk_algorithm=None):
+        """Generate fresh keys and build the zone."""
+        if isinstance(name, str):
+            name = DomainName.parse(name)
+        ksk = DnssecKey.generate(algorithm, is_ksk=True)
+        zsk = DnssecKey.generate(zsk_algorithm or algorithm, is_ksk=False)
+        return cls(name, ksk, zsk, ds_digest_type, ttl)
+
+    def _install_dnskey_rrset(self):
+        rdatas = sorted(
+            [self.ksk.dnskey().to_bytes(), self.zsk.dnskey().to_bytes()]
+        )
+        self.rrsets[(self.name, TYPE_DNSKEY)] = RRset(
+            self.name, TYPE_DNSKEY, self.ttl, rdatas
+        )
+
+    def dnskey_rrset(self):
+        return self.rrsets[(self.name, TYPE_DNSKEY)]
+
+    def dnskey_datas(self):
+        return [DnskeyData.from_bytes(r) for r in self.dnskey_rrset().rdatas]
+
+    def add_rrset(self, rrset):
+        if not rrset.name.is_subdomain_of(self.name):
+            raise DnssecError("record outside this zone")
+        self.rrsets[(rrset.name, rrset.rtype)] = rrset
+
+    def add_txt(self, owner, strings):
+        """Add (or extend) a TXT RRset at ``owner``."""
+        if isinstance(owner, str):
+            owner = DomainName.parse(owner)
+        rdata = TxtData(strings).to_bytes()
+        key = (owner, TYPE_TXT)
+        if key in self.rrsets:
+            self.rrsets[key].rdatas.append(rdata)
+            self.rrsets[key].rrsigs.clear()
+        else:
+            self.rrsets[key] = RRset(owner, TYPE_TXT, self.ttl, [rdata])
+        return self.rrsets[key]
+
+    def remove_txt(self, owner):
+        if isinstance(owner, str):
+            owner = DomainName.parse(owner)
+        self.rrsets.pop((owner, TYPE_TXT), None)
+
+    def delegate(self, child_zone):
+        """Install a signed DS RRset for a child zone's KSK."""
+        if child_zone.name.parent() != self.name:
+            raise DnssecError("not a direct child of this zone")
+        ds = make_ds(
+            child_zone.name, child_zone.ksk.dnskey(), self.ds_digest_type
+        )
+        self.rrsets[(child_zone.name, TYPE_DS)] = RRset(
+            child_zone.name, TYPE_DS, self.ttl, [ds.to_bytes()]
+        )
+        return ds
+
+    def sign(self, inception, expiration):
+        """(Re)sign every RRset: DNSKEY by the KSK, the rest by the ZSK."""
+        for (owner, rtype), rrset in self.rrsets.items():
+            rrset.rrsigs.clear()
+            key = self.ksk if rtype == TYPE_DNSKEY else self.zsk
+            sign_rrset(rrset, self.name, key, inception, expiration)
+
+    def get(self, owner, rtype):
+        if isinstance(owner, str):
+            owner = DomainName.parse(owner)
+        rrset = self.rrsets.get((owner, rtype))
+        if rrset is None:
+            raise DnssecError("no RRset %s/%d in zone %s" % (owner, rtype, self.name))
+        return rrset
+
+    def roll_zsk(self):
+        """Replace the ZSK (key compromise recovery); re-sign required."""
+        self.zsk = DnssecKey.generate(self.zsk.algorithm, is_ksk=False)
+        self._install_dnskey_rrset()
+
+    def roll_ksk(self):
+        """Replace the KSK; the parent must re-delegate."""
+        self.ksk = DnssecKey.generate(self.ksk.algorithm, is_ksk=True)
+        self._install_dnskey_rrset()

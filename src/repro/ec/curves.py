@@ -1,0 +1,93 @@
+"""Named curve instances used throughout the reproduction.
+
+* ``P256``     — NIST P-256, the ECDSA curve covering 96% of signed TLDs
+                 (paper §5); used by the ``production`` profile.
+* ``SECP256K1``— included to exercise the generic group law on a second
+                 256-bit curve in tests.
+* ``TOY61``    — a 61-bit supersingular curve (``y^2 = x^3 + x`` over a
+                 prime ``q = 3 mod 4``, so the order is exactly ``q + 1``),
+                 used by the ``toy`` profile so that the full S_NOPE
+                 statement is small enough to prove end-to-end with the
+                 pure-Python Groth16 backend.  Its parameters were generated
+                 once (Miller-Rabin search for ``q`` with ``(q+1)/4`` prime)
+                 and are hard-coded; security of this curve is irrelevant —
+                 it exists to exercise the identical code paths at small
+                 scale.
+* ``BN254_G1`` — the G1 group of the pairing curve used by Groth16.
+"""
+
+from .curve import Curve
+
+#: NIST P-256 (secp256r1, RFC 6605's DNSSEC algorithm 13 curve).
+P256 = Curve(
+    name="P-256",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=-3,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    order=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+)
+
+#: secp256k1, used only to cross-check the generic group law in tests.
+SECP256K1 = Curve(
+    name="secp256k1",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F,
+    a=0,
+    b=7,
+    gx=0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798,
+    gy=0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8,
+    order=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141,
+)
+
+#: 29-bit toy curve for the fully-proven end-to-end profile.  Same family
+#: as TOY61 (supersingular y^2 = x^3 + x, q = 3 mod 4, #E = q + 1 = 4n);
+#: small enough that a whole S_NOPE statement proves in pure Python.
+TOY29 = Curve(
+    name="toy29",
+    p=536871091,
+    a=1,
+    b=0,
+    gx=216997010,
+    gy=116440326,
+    order=134217773,
+    cofactor=4,
+)
+
+#: 61-bit toy curve for the scaled-down end-to-end profile.
+#: y^2 = x^3 + x over F_q with q = 3 (mod 4): supersingular, #E = q + 1 = 4n.
+TOY61 = Curve(
+    name="toy61",
+    p=2305843009213703347,
+    a=1,
+    b=0,
+    gx=836472976453214664,
+    gy=1082201457823212795,
+    order=576460752303425837,
+    cofactor=4,
+)
+
+#: BN254 scalar-field modulus (the order of G1/G2; the R1CS field).
+BN254_R = 21888242871839275222246405745257275088548364400416034343698204186575808495617
+
+#: BN254 base-field modulus.
+BN254_Q = 21888242871839275222246405745257275088696311157297823662689037894645226208583
+
+#: The G1 group of BN254: y^2 = x^3 + 3 over F_q, generator (1, 2).
+BN254_G1 = Curve(
+    name="bn254-g1",
+    p=BN254_Q,
+    a=0,
+    b=3,
+    gx=1,
+    gy=2,
+    order=BN254_R,
+)
+
+#: Registry by name, e.g. for serialized key material.
+CURVES = {c.name: c for c in (P256, SECP256K1, TOY29, TOY61, BN254_G1)}
+
+
+def curve_by_name(name):
+    """Look up a named curve; raises KeyError for unknown names."""
+    return CURVES[name]

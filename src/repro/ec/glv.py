@@ -1,0 +1,56 @@
+"""Scalar decomposition for accelerated ECDSA verification (paper App. C).
+
+Antipa et al. [5] observed that checking ``R = h0*G + h1*Q`` (a 256-bit
+2-point MSM) can be transformed into a half-width MSM: find a nonzero ``v``
+such that both ``v`` and ``h1 * v mod n`` fit in ~128 bits, then check the
+equivalent equation with 128-bit scalars.
+
+Finding ``v`` uses the extended Euclidean algorithm on ``(n, h1)``, stopped
+at the first remainder below ``sqrt(n)``.  Normally this cost makes the
+transformation unattractive; NOPE's insight (§5.3) is that the *prover* can
+compute ``v`` outside the constraints, and the constraints merely validate
+it — halving the in-circuit MSM width.
+
+This module provides the out-of-circuit side: :func:`decompose` is used both
+by the ECDSA gadget's witness generation and by the natively accelerated
+verifier.
+"""
+
+import math
+
+from ..errors import CurveError
+
+
+def decompose(h1, n):
+    """Find small ``(v, rem, sign)`` with ``h1 * v = sign * rem (mod n)``.
+
+    Returns ``v > 0`` and ``rem >= 0``, each at most about ``sqrt(n)`` (in
+    the worst case a couple of bits more), and ``sign`` in ``{+1, -1}``.
+    Raises CurveError for ``h1 = 0 (mod n)``.
+    """
+    h1 %= n
+    if h1 == 0:
+        raise CurveError("decompose: scalar is zero mod n")
+    bound = math.isqrt(n)
+    r0, r1 = n, h1
+    t0, t1 = 0, 1
+    while r1 > bound:
+        q = r0 // r1
+        r0, r1 = r1, r0 - q * r1
+        t0, t1 = t1, t0 - q * t1
+    # invariant: t1 * h1 = r1 (mod n)
+    if t1 == 0:
+        raise CurveError("decompose: degenerate decomposition")
+    if t1 > 0:
+        return t1, r1, 1
+    return -t1, r1, -1
+
+
+def half_width_bound(n):
+    """Bit bound that both components of :func:`decompose` satisfy.
+
+    The classical analysis gives ``|v| <= n / r_prev < n / sqrt(n) =
+    sqrt(n)``; allowing one slack bit covers rounding.  The ECDSA gadget
+    range-checks against this bound.
+    """
+    return (n.bit_length() + 1) // 2 + 1

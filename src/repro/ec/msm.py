@@ -1,0 +1,170 @@
+"""Multi-scalar multiplication (MSM).
+
+The Groth16 prover's cost is dominated by MSMs of size ~m (the number of
+constraints), so this module implements the Pippenger bucket method over
+Jacobian coordinates with mixed (Jacobian + affine) bucket additions.  A
+Straus/Shamir joint ladder is provided for the tiny fixed-width MSMs that
+appear in signature verification (2-4 points).
+"""
+
+import math
+
+from .curve import (
+    JAC_INFINITY,
+    Point,
+    jac_add,
+    jac_add_affine,
+    jac_double,
+    jac_is_infinity,
+)
+
+
+def _window_bits(n):
+    """Pippenger window size heuristic for an n-point MSM."""
+    if n < 4:
+        return 1
+    return max(2, min(16, int(math.log2(n))))
+
+
+def msm(points, scalars):
+    """Compute sum(k_i * P_i) for affine Points; returns a Point.
+
+    Pairs with zero scalars or infinity points are skipped.  All points must
+    share a curve.
+    """
+    if len(points) != len(scalars):
+        raise ValueError("msm: points and scalars differ in length")
+    if not points:
+        raise ValueError("msm: empty input")
+    curve = points[0].curve
+    pairs = [
+        ((pt.x, pt.y), k % curve.order)
+        for pt, k in zip(points, scalars)
+        if not pt.is_infinity and k % curve.order != 0
+    ]
+    if not pairs:
+        return curve.infinity
+    jac = msm_jacobian(curve, [p for p, _ in pairs], [k for _, k in pairs])
+    return Point.from_jacobian(curve, jac)
+
+
+def msm_jacobian(curve, affine_points, scalars):
+    """Pippenger MSM over affine coordinate tuples; returns a Jacobian tuple."""
+    n = len(affine_points)
+    if n == 0:
+        return JAC_INFINITY
+    if n == 1:
+        from .curve import jac_mul
+
+        return jac_mul(curve, (affine_points[0][0], affine_points[0][1], 1), scalars[0])
+    c = _window_bits(n)
+    max_bits = max(k.bit_length() for k in scalars)
+    num_windows = (max_bits + c - 1) // c or 1
+    mask = (1 << c) - 1
+    result = JAC_INFINITY
+    for w in range(num_windows - 1, -1, -1):
+        if not jac_is_infinity(result):
+            for _ in range(c):
+                result = jac_double(curve, result)
+        buckets = [JAC_INFINITY] * ((1 << c) - 1)
+        shift = w * c
+        for pt, k in zip(affine_points, scalars):
+            digit = (k >> shift) & mask
+            if digit:
+                buckets[digit - 1] = jac_add_affine(curve, buckets[digit - 1], pt)
+        acc = JAC_INFINITY
+        window_sum = JAC_INFINITY
+        for b in range(len(buckets) - 1, -1, -1):
+            if not jac_is_infinity(buckets[b]):
+                acc = jac_add(curve, acc, buckets[b])
+            if not jac_is_infinity(acc):
+                window_sum = jac_add(curve, window_sum, acc)
+        result = jac_add(curve, result, window_sum)
+    return result
+
+
+class FixedBaseTable:
+    """Precomputed windowed table for many scalar multiplications of one base.
+
+    Used by the Groth16 trusted setup, which must compute tens of thousands
+    of multiples of the same generator: after a one-time precomputation of
+    ``(bits/window) * 2^window`` points, each scalar multiplication is just
+    ``bits/window`` additions.  Works for any group element supporting
+    ``+`` and unary ``-`` with an explicit identity (G1 Points and pairing
+    G2Points both qualify).
+    """
+
+    def __init__(self, base, identity, max_bits, window=8):
+        self.window = window
+        self.identity = identity
+        self.num_windows = (max_bits + window - 1) // window
+        self.tables = []
+        current = base
+        for _ in range(self.num_windows):
+            row = [identity]
+            for _ in range((1 << window) - 1):
+                row.append(row[-1] + current)
+            self.tables.append(row)
+            # advance base by 2^window
+            current = row[-1] + current
+        self.mask = (1 << window) - 1
+
+    def mul(self, k):
+        """k * base using the precomputed table."""
+        if k < 0 or k.bit_length() > self.window * self.num_windows:
+            raise ValueError("scalar exceeds the precomputed table width")
+        acc = self.identity
+        w = 0
+        while k:
+            digit = k & self.mask
+            if digit:
+                acc = acc + self.tables[w][digit]
+            k >>= self.window
+            w += 1
+        return acc
+
+
+def straus(points, scalars, window=2):
+    """Straus/Shamir joint scalar multiplication for small fixed MSMs.
+
+    Precomputes the 2^(w*len) combination table, then walks the scalars'
+    bits jointly.  Intended for 2-4 points (e.g. ECDSA's u1*G + u2*Q).
+    """
+    if len(points) != len(scalars):
+        raise ValueError("straus: points and scalars differ in length")
+    if not points:
+        raise ValueError("straus: empty input")
+    curve = points[0].curve
+    scalars = [k % curve.order for k in scalars]
+    npts = len(points)
+    if npts * window > 12:
+        raise ValueError("straus table too large; use msm() instead")
+    # table[i] = sum of digit_j(i) * P_j for the joint index i
+    table_size = 1 << (window * npts)
+    table = [curve.infinity] * table_size
+    # small doubles of each point
+    pt_multiples = []
+    for pt in points:
+        row = [curve.infinity]
+        for _ in range((1 << window) - 1):
+            row.append(row[-1] + pt)
+        pt_multiples.append(row)
+    for idx in range(1, table_size):
+        acc = curve.infinity
+        for j in range(npts):
+            digit = (idx >> (j * window)) & ((1 << window) - 1)
+            acc = acc + pt_multiples[j][digit]
+        table[idx] = acc
+    max_bits = max((k.bit_length() for k in scalars), default=1) or 1
+    num_windows = (max_bits + window - 1) // window
+    mask = (1 << window) - 1
+    result = curve.infinity
+    for w in range(num_windows - 1, -1, -1):
+        for _ in range(window):
+            result = result + result
+        idx = 0
+        for j, k in enumerate(scalars):
+            idx |= ((k >> (w * window)) & mask) << (j * window)
+        if idx:
+            result = result + table[idx]
+    return result

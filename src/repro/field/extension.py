@@ -1,0 +1,300 @@
+"""Extension-field tower for the BN254 pairing curve.
+
+Groth16 verification needs the optimal ate pairing on BN254, which in turn
+needs the tower
+
+    Fq2  = Fq [u] / (u^2 + 1)
+    Fq6  = Fq2[v] / (v^3 - xi),   xi = 9 + u
+    Fq12 = Fq6[w] / (w^2 - v)
+
+The classes here are specialized to BN254's base prime (the tower structure
+and the Frobenius coefficients are properties of that specific field), which
+lets multiplication use the standard Karatsuba shortcuts and lets inversion
+bottom out in a single native ``pow(x, -1, p)``.
+
+Elements are immutable; coefficients are plain ints (for Fq2) or lower-level
+tower elements.
+"""
+
+from ..errors import FieldError
+
+#: BN254 (a.k.a. alt_bn128) base-field prime.
+BN254_P = 21888242871839275222246405745257275088696311157297823662689037894645226208583
+
+_P = BN254_P
+
+
+class Fq2:
+    """Element c0 + c1*u of Fq[u]/(u^2 + 1)."""
+
+    __slots__ = ("c0", "c1")
+
+    def __init__(self, c0, c1):
+        self.c0 = c0 % _P
+        self.c1 = c1 % _P
+
+    @staticmethod
+    def zero():
+        return Fq2(0, 0)
+
+    @staticmethod
+    def one():
+        return Fq2(1, 0)
+
+    def is_zero(self):
+        return self.c0 == 0 and self.c1 == 0
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Fq2) and self.c0 == other.c0 and self.c1 == other.c1
+        )
+
+    def __hash__(self):
+        return hash((self.c0, self.c1))
+
+    def __repr__(self):
+        return "Fq2(%d, %d)" % (self.c0, self.c1)
+
+    def __add__(self, other):
+        return Fq2(self.c0 + other.c0, self.c1 + other.c1)
+
+    def __sub__(self, other):
+        return Fq2(self.c0 - other.c0, self.c1 - other.c1)
+
+    def __neg__(self):
+        return Fq2(-self.c0, -self.c1)
+
+    def __mul__(self, other):
+        if isinstance(other, int):
+            return Fq2(self.c0 * other, self.c1 * other)
+        # Karatsuba: (a0 + a1 u)(b0 + b1 u) with u^2 = -1
+        t0 = self.c0 * other.c0
+        t1 = self.c1 * other.c1
+        t2 = (self.c0 + self.c1) * (other.c0 + other.c1)
+        return Fq2(t0 - t1, t2 - t0 - t1)
+
+    __rmul__ = __mul__
+
+    def square(self):
+        # (a0 + a1 u)^2 = (a0+a1)(a0-a1) + 2 a0 a1 u
+        t = self.c0 * self.c1
+        return Fq2((self.c0 + self.c1) * (self.c0 - self.c1), t + t)
+
+    def conjugate(self):
+        return Fq2(self.c0, -self.c1)
+
+    def inverse(self):
+        # 1/(a0 + a1 u) = (a0 - a1 u) / (a0^2 + a1^2)
+        norm = (self.c0 * self.c0 + self.c1 * self.c1) % _P
+        if norm == 0:
+            raise FieldError("inverse of zero in Fq2")
+        inv = pow(norm, -1, _P)
+        return Fq2(self.c0 * inv, -self.c1 * inv)
+
+    def mul_by_xi(self):
+        """Multiply by the Fq6 non-residue xi = 9 + u."""
+        return Fq2(9 * self.c0 - self.c1, 9 * self.c1 + self.c0)
+
+    def frobenius(self):
+        """x -> x^p; since p = 3 mod 4, u^p = -u."""
+        return self.conjugate()
+
+    def pow(self, e):
+        result = Fq2.one()
+        base = self
+        while e:
+            if e & 1:
+                result = result * base
+            base = base.square()
+            e >>= 1
+        return result
+
+
+#: Fq6 non-residue xi = 9 + u.
+XI = Fq2(9, 1)
+
+# Frobenius coefficients.
+#   Fq6:  (a0 + a1 v + a2 v^2)^p = a0^p + a1^p * g1 * v + a2^p * g2 * v^2
+#         g1 = xi^((p-1)/3), g2 = xi^(2(p-1)/3)
+#   Fq12: (b0 + b1 w)^p = b0^p + b1^p * g12 * w,  g12 = xi^((p-1)/6)
+_FROB6_C1 = XI.pow((_P - 1) // 3)
+_FROB6_C2 = XI.pow(2 * (_P - 1) // 3)
+_FROB12_C1 = XI.pow((_P - 1) // 6)
+
+
+class Fq6:
+    """Element a0 + a1*v + a2*v^2 of Fq2[v]/(v^3 - xi)."""
+
+    __slots__ = ("c0", "c1", "c2")
+
+    def __init__(self, c0, c1, c2):
+        self.c0 = c0
+        self.c1 = c1
+        self.c2 = c2
+
+    @staticmethod
+    def zero():
+        return Fq6(Fq2.zero(), Fq2.zero(), Fq2.zero())
+
+    @staticmethod
+    def one():
+        return Fq6(Fq2.one(), Fq2.zero(), Fq2.zero())
+
+    def is_zero(self):
+        return self.c0.is_zero() and self.c1.is_zero() and self.c2.is_zero()
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Fq6)
+            and self.c0 == other.c0
+            and self.c1 == other.c1
+            and self.c2 == other.c2
+        )
+
+    def __hash__(self):
+        return hash((self.c0, self.c1, self.c2))
+
+    def __repr__(self):
+        return "Fq6(%r, %r, %r)" % (self.c0, self.c1, self.c2)
+
+    def __add__(self, other):
+        return Fq6(self.c0 + other.c0, self.c1 + other.c1, self.c2 + other.c2)
+
+    def __sub__(self, other):
+        return Fq6(self.c0 - other.c0, self.c1 - other.c1, self.c2 - other.c2)
+
+    def __neg__(self):
+        return Fq6(-self.c0, -self.c1, -self.c2)
+
+    def __mul__(self, other):
+        if isinstance(other, (int, Fq2)):
+            return Fq6(self.c0 * other, self.c1 * other, self.c2 * other)
+        a0, a1, a2 = self.c0, self.c1, self.c2
+        b0, b1, b2 = other.c0, other.c1, other.c2
+        # Toom-style interpolation (CH-SQR / Devegili): 6 Fq2 muls.
+        v0 = a0 * b0
+        v1 = a1 * b1
+        v2 = a2 * b2
+        t0 = (a1 + a2) * (b1 + b2) - v1 - v2  # a1 b2 + a2 b1
+        t1 = (a0 + a1) * (b0 + b1) - v0 - v1  # a0 b1 + a1 b0
+        t2 = (a0 + a2) * (b0 + b2) - v0 - v2  # a0 b2 + a2 b0
+        return Fq6(v0 + t0.mul_by_xi(), t1 + v2.mul_by_xi(), t2 + v1)
+
+    __rmul__ = __mul__
+
+    def square(self):
+        return self * self
+
+    def mul_by_v(self):
+        """Multiply by v (v^3 = xi)."""
+        return Fq6(self.c2.mul_by_xi(), self.c0, self.c1)
+
+    def inverse(self):
+        a0, a1, a2 = self.c0, self.c1, self.c2
+        t0 = a0.square() - (a1 * a2).mul_by_xi()
+        t1 = a2.square().mul_by_xi() - a0 * a1
+        t2 = a1.square() - a0 * a2
+        denom = a0 * t0 + (a2 * t1).mul_by_xi() + (a1 * t2).mul_by_xi()
+        inv = denom.inverse()
+        return Fq6(t0 * inv, t1 * inv, t2 * inv)
+
+    def frobenius(self):
+        return Fq6(
+            self.c0.frobenius(),
+            self.c1.frobenius() * _FROB6_C1,
+            self.c2.frobenius() * _FROB6_C2,
+        )
+
+
+class Fq12:
+    """Element b0 + b1*w of Fq6[w]/(w^2 - v).  The pairing target group."""
+
+    __slots__ = ("c0", "c1")
+
+    def __init__(self, c0, c1):
+        self.c0 = c0
+        self.c1 = c1
+
+    @staticmethod
+    def zero():
+        return Fq12(Fq6.zero(), Fq6.zero())
+
+    @staticmethod
+    def one():
+        return Fq12(Fq6.one(), Fq6.zero())
+
+    def is_zero(self):
+        return self.c0.is_zero() and self.c1.is_zero()
+
+    def is_one(self):
+        return self == Fq12.one()
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Fq12) and self.c0 == other.c0 and self.c1 == other.c1
+        )
+
+    def __hash__(self):
+        return hash((self.c0, self.c1))
+
+    def __repr__(self):
+        return "Fq12(%r, %r)" % (self.c0, self.c1)
+
+    def __add__(self, other):
+        return Fq12(self.c0 + other.c0, self.c1 + other.c1)
+
+    def __sub__(self, other):
+        return Fq12(self.c0 - other.c0, self.c1 - other.c1)
+
+    def __neg__(self):
+        return Fq12(-self.c0, -self.c1)
+
+    def __mul__(self, other):
+        if isinstance(other, (int, Fq2, Fq6)):
+            return Fq12(self.c0 * other, self.c1 * other)
+        a0, a1 = self.c0, self.c1
+        b0, b1 = other.c0, other.c1
+        v0 = a0 * b0
+        v1 = a1 * b1
+        t = (a0 + a1) * (b0 + b1) - v0 - v1
+        return Fq12(v0 + v1.mul_by_v(), t)
+
+    __rmul__ = __mul__
+
+    def square(self):
+        a0, a1 = self.c0, self.c1
+        v0 = a0 * a1
+        t = (a0 + a1) * (a0 + a1.mul_by_v())
+        return Fq12(t - v0 - v0.mul_by_v(), v0 + v0)
+
+    def conjugate(self):
+        """b0 - b1 w, which equals x^(p^6) (the unitary inverse)."""
+        return Fq12(self.c0, -self.c1)
+
+    def inverse(self):
+        t = (self.c0.square() - self.c1.square().mul_by_v()).inverse()
+        return Fq12(self.c0 * t, -(self.c1 * t))
+
+    def frobenius(self):
+        return Fq12(
+            self.c0.frobenius(),
+            self.c1.frobenius() * _FROB12_C1,
+        )
+
+    def frobenius_n(self, n):
+        x = self
+        for _ in range(n % 12):
+            x = x.frobenius()
+        return x
+
+    def pow(self, e):
+        if e < 0:
+            return self.inverse().pow(-e)
+        result = Fq12.one()
+        base = self
+        while e:
+            if e & 1:
+                result = result * base
+            base = base.square()
+            e >>= 1
+        return result

@@ -1,0 +1,170 @@
+"""Bit-level and numeric building blocks for R1CS gadgets.
+
+Includes the paper's cheapest sub-primitive, :func:`map_nonzero_to_zero`
+(§4.3): a single constraint ``x * z = 0`` whose witness wire ``z`` the
+prover may set to anything when ``x = 0`` but must set to zero otherwise.
+
+Cost summary (constraints):
+
+==========================  =======================
+bit_decompose(n bits)       n + 1
+is_zero                     2
+is_equal                    2
+map_nonzero_to_zero         1
+select                      1
+geq_const(n-bit range)      n + 2
+==========================  =======================
+"""
+
+from ..errors import SynthesisError
+
+
+def bit_decompose(cs, lc, nbits, label="bits"):
+    """Decompose an LC into ``nbits`` boolean wires (low bit first).
+
+    Enforces each wire boolean and the weighted sum equal to ``lc``; this is
+    also the canonical range check: it proves ``0 <= lc < 2^nbits``.
+    Cost: nbits + 1.
+    """
+    value = cs.lc_value(lc)
+    if value.bit_length() > nbits:
+        raise SynthesisError(
+            "value %d does not fit in %d bits (%s)" % (value, nbits, label)
+        )
+    bits = []
+    acc = cs.constant(0)
+    for i in range(nbits):
+        bit = cs.alloc((value >> i) & 1, "%s[%d]" % (label, i))
+        cs.enforce_bool(bit, "%s[%d] bool" % (label, i))
+        bits.append(bit)
+        acc = acc + bit * (1 << i)
+    cs.enforce_equal(acc, lc, "%s recompose" % label)
+    return bits
+
+
+def field_decompose_strict(cs, lc, label="fbits"):
+    """Decompose a full field element into bits, *canonically*.
+
+    A plain ``bit_decompose`` over ``ceil(log2 p)`` bits is ambiguous: when
+    the value is small enough, value + p also fits, letting a malicious
+    prover choose the alias.  This strict variant additionally proves
+    ``value <= p - 1`` with a complementary witness.  Cost: 2*(nbits+1)+1.
+    """
+    nbits = cs.field.bits
+    value = cs.lc_value(lc)
+    bits = bit_decompose(cs, lc, nbits, label)
+    complement = cs.alloc(cs.field.p - 1 - value, label + ".comp")
+    bit_decompose(cs, complement, nbits, label + ".comp")
+    cs.enforce_equal(
+        cs._as_lc(lc) + complement, cs.constant(cs.field.p - 1), label + ".canon"
+    )
+    return bits
+
+
+def bits_to_lc(bits):
+    """Weighted sum of bits (low first).  Free."""
+    acc = None
+    for i, bit in enumerate(bits):
+        term = bit * (1 << i)
+        acc = term if acc is None else acc + term
+    return acc
+
+
+def assert_in_range(cs, lc, nbits, label="range"):
+    """Prove 0 <= lc < 2^nbits.  Cost: nbits + 1."""
+    bit_decompose(cs, lc, nbits, label)
+
+
+def map_nonzero_to_zero(cs, lc, label="mnz"):
+    """The paper's 1-constraint sub-primitive (§4.3).
+
+    Returns a wire z with: x nonzero => z = 0; x zero => z unconstrained
+    (witness generation sets it to 1, which is what indicator() wants).
+    """
+    value = cs.lc_value(lc)
+    z = cs.alloc(0 if value != 0 else 1, label)
+    cs.enforce(lc, z, cs.constant(0), label)
+    return z
+
+
+def is_zero(cs, lc, label="is_zero"):
+    """A *constrained* zero test: returns a bit that is 1 iff lc == 0.
+
+    Cost: 2 (classic inv-witness construction).
+    """
+    value = cs.lc_value(lc)
+    inv_value = 0 if value == 0 else cs.field.inv(value)
+    inv = cs.alloc(inv_value, label + ".inv")
+    out = cs.alloc(1 if value == 0 else 0, label + ".out")
+    # out = 1 - lc * inv  enforced as  lc * inv = 1 - out
+    cs.enforce(lc, inv, cs.one - out, label + " eq1")
+    # lc * out = 0 forces out = 0 whenever lc != 0
+    cs.enforce(lc, out, cs.constant(0), label + " eq2")
+    return out
+
+
+def is_equal(cs, a, b, label="is_equal"):
+    """Bit that is 1 iff a == b.  Cost: 2."""
+    return is_zero(cs, cs._as_lc(a) - cs._as_lc(b), label)
+
+
+def select(cs, flag, when_true, when_false, label="select"):
+    """flag ? when_true : when_false, for a boolean flag.  Cost: 1."""
+    when_true = cs._as_lc(when_true)
+    when_false = cs._as_lc(when_false)
+    diff = when_true - when_false
+    prod = cs.mul(flag, diff, label)
+    return prod + when_false
+
+
+def select_many(cs, flag, when_true, when_false, label="selectv"):
+    """Component-wise select over two equal-length vectors.  Cost: len."""
+    if len(when_true) != len(when_false):
+        raise SynthesisError("select_many on different-length vectors")
+    return [
+        select(cs, flag, t, f, "%s[%d]" % (label, i))
+        for i, (t, f) in enumerate(zip(when_true, when_false))
+    ]
+
+
+def geq_const(cs, lc, const, nbits, label="geq"):
+    """Bit that is 1 iff lc >= const, assuming 0 <= lc < 2^nbits.
+
+    Cost: nbits + 2 (the shifted-difference decomposition trick).
+    """
+    shifted = cs._as_lc(lc) - const + (1 << nbits)
+    bits = bit_decompose(cs, shifted, nbits + 1, label)
+    return bits[nbits]
+
+
+def lt_const(cs, lc, const, nbits, label="lt"):
+    """Bit that is 1 iff lc < const (same preconditions/cost as geq_const)."""
+    return cs.one - geq_const(cs, lc, const, nbits, label)
+
+
+def assert_lt(cs, a, b, nbits, label="assert_lt"):
+    """Enforce a < b where both fit in nbits.  Cost: nbits + 2."""
+    # b - a - 1 must be a valid nbits value (non-negative)
+    assert_in_range(cs, cs._as_lc(b) - cs._as_lc(a) - 1, nbits, label)
+
+
+def assert_bytes(cs, lcs, label="byte"):
+    """Range-check every LC as a byte.  Cost: 9 per element."""
+    for i, lc in enumerate(lcs):
+        assert_in_range(cs, lc, 8, "%s[%d]" % (label, i))
+
+
+def pack_bytes_be(byte_lcs):
+    """Big-endian byte packing into one LC.  Free."""
+    acc = None
+    for lc in byte_lcs:
+        acc = lc if acc is None else acc * 256 + lc
+    return acc
+
+
+def alloc_bytes(cs, data, label="data", range_check=True):
+    """Allocate a byte string as witness wires (one per byte)."""
+    lcs = [cs.alloc(b, "%s[%d]" % (label, i)) for i, b in enumerate(data)]
+    if range_check:
+        assert_bytes(cs, lcs, label)
+    return lcs

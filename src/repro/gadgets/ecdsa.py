@@ -1,0 +1,212 @@
+"""ECDSA signature verification in constraints (paper §5.3, Appendix C).
+
+The verification equation ``R = h0*G + h1*Q`` needs a full-width 2-point
+MSM.  NOPE halves the MSM width: the *prover* runs the extended Euclidean
+algorithm (outside the constraints) to find a nonzero ``v`` with both ``v``
+and ``v2 = ±(h1 * v mod n)`` about half-width, and the constraints merely
+validate the side information and check
+
+    v0*G + v1*H + v2*(±Q) - v*R = O,      H = 2^half * G precomputed,
+
+where ``v0 + v1*2^half = h0*v mod n``.  All scalars are half-width, saving
+nearly 2x (§5.3).
+
+Two variants share this module:
+
+* ``technique="nope"``     — the half-width construction above with NOPE's
+  geometric point checks;
+* ``technique="baseline"`` — the pre-NOPE full-width 2-point MSM with
+  classical algebraic point operations, used by the Figure 6 / §8.3
+  ablation benchmarks.
+"""
+
+from ..ec.glv import decompose, half_width_bound
+from ..errors import SynthesisError
+from .bigint import LimbInt
+from .bits import bit_decompose, select
+from .ecc import (
+    PointVar,
+    alloc_point,
+    assert_points_equal,
+    const_point,
+    msm_straus,
+)
+
+
+def alloc_scalar_bits(cs, value, nbits, label):
+    """Allocate a value as a wire plus its little-endian bits (range check)."""
+    wire = cs.alloc(value, label)
+    bits = bit_decompose(cs, wire, nbits, label + ".bits")
+    return wire, bits
+
+
+def scalar_limbint(cs, wire, value, nbits, limb_bits):
+    """Wrap a single range-checked wire as a (redundant) LimbInt scalar."""
+    return LimbInt([wire], limb_bits, [(0, (1 << nbits) - 1)], [value])
+
+
+def assert_nonzero_mod(cs, x, modulus, limb_bits, num_limbs, label):
+    """Enforce x != 0 (mod modulus) via an inverse witness."""
+    x_int = x.int_value() % modulus
+    if x_int == 0:
+        raise SynthesisError("%s: value is zero mod modulus" % label)
+    inv = LimbInt.alloc(
+        cs, pow(x_int, -1, modulus), limb_bits, num_limbs, label + ".inv"
+    )
+    one = LimbInt.from_const(cs, 1, limb_bits)
+    (x.mul(cs, inv, label + ".mul") - one).assert_zero_mod(
+        cs, modulus, label + ".eq"
+    )
+
+
+def verify_ecdsa(cs, cfg, pub, msg_hash, sig_r, sig_s, label="ecdsa", technique="nope"):
+    """Verify an ECDSA signature inside the constraints.
+
+    ``pub``: PointVar (already on-curve-checked); ``msg_hash``: LimbInt of
+    the message hash (interpreted mod n); ``sig_r``/``sig_s``: canonical
+    LimbInts parsed from the signature bytes.
+    """
+    n = cfg.n
+    q = cfg.q
+    curve = cfg.curve
+    # -- 0. r, s in [1, n) ---------------------------------------------------
+    sig_r.assert_lt_const(cs, n, label + ".r_lt")
+    sig_s.assert_lt_const(cs, n, label + ".s_lt")
+    assert_nonzero_mod(cs, sig_r, n, cfg.limb_bits, cfg.scalar_limbs, label + ".r_nz")
+    assert_nonzero_mod(cs, sig_s, n, cfg.limb_bits, cfg.scalar_limbs, label + ".s_nz")
+    r_int = sig_r.int_value()
+    s_int = sig_s.int_value()
+    h_int = msg_hash.int_value() % n
+    # -- 1. w = s^-1, h0 = h*w, h1 = r*w (mod n) ------------------------------
+    w_int = pow(s_int, -1, n)
+    h0_int = h_int * w_int % n
+    h1_int = r_int * w_int % n
+    w = LimbInt.alloc(cs, w_int, cfg.limb_bits, cfg.scalar_limbs, label + ".w")
+    one = LimbInt.from_const(cs, 1, cfg.limb_bits)
+    (sig_s.mul(cs, w, label + ".sw") - one).assert_zero_mod(cs, n, label + ".weq")
+    h0 = LimbInt.alloc(cs, h0_int, cfg.limb_bits, cfg.scalar_limbs, label + ".h0")
+    (msg_hash.mul(cs, w, label + ".hw") - h0).assert_zero_mod(cs, n, label + ".h0eq")
+    h1 = LimbInt.alloc(cs, h1_int, cfg.limb_bits, cfg.scalar_limbs, label + ".h1")
+    (sig_r.mul(cs, w, label + ".rw") - h1).assert_zero_mod(cs, n, label + ".h1eq")
+    # -- 2. witness point R with x_R = r (mod n) ------------------------------
+    from ..ec.msm import straus as native_straus
+
+    r_native = native_straus([curve.generator, pub.point], [h0_int, h1_int])
+    if r_native.is_infinity:
+        raise SynthesisError("%s: degenerate signature" % label)
+    r_point = alloc_point(cs, cfg, r_native, label + ".R", on_curve=True)
+    r_point.x.assert_lt_const(cs, q, label + ".xr_lt")
+    # x_R = r + t*n for a small witness t
+    t_max = (q - 1) // n
+    t_int = (r_native.x - r_int) // n
+    if r_native.x != r_int + t_int * n:
+        raise SynthesisError("%s: signature r mismatch" % label)
+    t_bits_n = max(1, t_max.bit_length())
+    t_wire, _ = alloc_scalar_bits(cs, t_int, t_bits_n, label + ".t")
+    t_li = scalar_limbint(cs, t_wire, t_int, t_bits_n, cfg.limb_bits)
+    tn = t_li.mul_const_bigint(cs, n)
+    zero = LimbInt.from_const(cs, 0, cfg.limb_bits)
+    (r_point.x - sig_r - tn).assert_equal_int(cs, zero, label + ".xr_eq")
+
+    if technique == "baseline":
+        _verify_baseline(cs, cfg, pub, h0, h1, r_point, label)
+    elif technique == "nope":
+        _verify_nope(cs, cfg, pub, h0, h1, r_point, label)
+    else:
+        raise SynthesisError("unknown ECDSA technique %r" % technique)
+
+
+def _verify_baseline(cs, cfg, pub, h0, h1, r_point, label):
+    """Full-width 2-point MSM with classical point operations."""
+    g_var = const_point(cs, cfg, cfg.curve.generator)
+    result = msm_straus(
+        cs,
+        cfg,
+        [h0.bit_wires, h1.bit_wires],
+        [g_var, pub],
+        label + ".msm",
+        ops="classic",
+    )
+    assert_points_equal(cs, cfg, result, r_point, label + ".final")
+
+
+def _verify_nope(cs, cfg, pub, h0, h1, r_point, label):
+    """Appendix C: validate the Euclidean side information, then check a
+    half-width 4-point MSM against the point at infinity."""
+    n = cfg.n
+    q = cfg.q
+    curve = cfg.curve
+    half = half_width_bound(n)
+    h0_int = h0.int_value()
+    h1_int = h1.int_value()
+    v_int, v2_int, sign = decompose(h1_int, n)
+    # -- side-information witnesses ------------------------------------------
+    v_wire, v_bits = alloc_scalar_bits(cs, v_int, half, label + ".v")
+    v_li = scalar_limbint(cs, v_wire, v_int, half, cfg.limb_bits)
+    assert_nonzero_mod(cs, v_li, n, cfg.limb_bits, cfg.scalar_limbs, label + ".v_nz")
+    v2_wire, v2_bits = alloc_scalar_bits(cs, v2_int, half, label + ".v2")
+    sign_bit = cs.alloc(1 if sign > 0 else 0, label + ".sign")
+    cs.enforce_bool(sign_bit, label + ".sign_bool")
+    # h1 * v = (2*sign - 1) * v2  (mod n)
+    sfactor = sign_bit * 2 - 1
+    signed_v2_lc = cs.mul(sfactor, v2_wire, label + ".sv2")
+    signed_v2 = LimbInt(
+        [signed_v2_lc],
+        cfg.limb_bits,
+        [(-(1 << half), 1 << half)],
+        [sign * v2_int],
+    )
+    (h1.mul(cs, v_li, label + ".h1v") - signed_v2).assert_zero_mod(
+        cs, n, label + ".h1v_eq"
+    )
+    # t = h0 * v mod n, split t = v0 + v1 * 2^half
+    t_int = h0_int * v_int % n
+    v0_int = t_int % (1 << half)
+    v1_int = t_int >> half
+    v1_width = max(1, n.bit_length() - half)
+    v0_wire, v0_bits = alloc_scalar_bits(cs, v0_int, half, label + ".v0")
+    v1_wire, v1_bits = alloc_scalar_bits(cs, v1_int, v1_width, label + ".v1")
+    v0_li = scalar_limbint(cs, v0_wire, v0_int, half, cfg.limb_bits)
+    v1_li = scalar_limbint(cs, v1_wire, v1_int, v1_width, cfg.limb_bits)
+    # t = v0 + v1 * 2^half, built with a constant-limb product so per-limb
+    # bounds stay far below the field even for 256-bit n
+    t_li = v0_li + v1_li.mul_const_bigint(cs, 1 << half)
+    (h0.mul(cs, v_li, label + ".h0v") - t_li).assert_zero_mod(
+        cs, n, label + ".t_eq"
+    )
+    # -- Q' = sign * Q (select the y-coordinate) -------------------------------
+    q_const = LimbInt.from_const(cs, q, cfg.limb_bits, cfg.num_limbs)
+    neg_y = q_const - pub.y
+    y_limbs, y_bounds, y_ints = [], [], []
+    for i in range(cfg.num_limbs):
+        y_limbs.append(
+            select(
+                cs, sign_bit, pub.y.limbs[i], neg_y.limbs[i], "%s.qy%d" % (label, i)
+            )
+        )
+        lo = min(pub.y.bounds[i][0], neg_y.bounds[i][0])
+        hi = max(pub.y.bounds[i][1], neg_y.bounds[i][1])
+        y_bounds.append((lo, hi))
+        y_ints.append(pub.y.ints[i] if sign > 0 else neg_y.ints[i])
+    q_native = pub.point if sign > 0 else -pub.point
+    q_prime = PointVar(
+        pub.x, LimbInt(y_limbs, cfg.limb_bits, y_bounds, y_ints), q_native
+    )
+    # -- the half-width MSM: v0 G + v1 H + v2 Q' - v R = O --------------------
+    big_h = (1 << half) * curve.generator
+    g_var = const_point(cs, cfg, curve.generator)
+    h_var = const_point(cs, cfg, big_h)
+    neg_r = _negate(cs, cfg, r_point)
+    msm_straus(
+        cs,
+        cfg,
+        [v0_bits, v1_bits, v2_bits, v_bits],
+        [g_var, h_var, q_prime, neg_r],
+        label + ".msm",
+        assert_zero=True,
+    )
+
+
+def _negate(cs, cfg, pt):
+    q_const = LimbInt.from_const(cs, cfg.q, cfg.limb_bits, cfg.num_limbs)
+    return PointVar(pt.x, q_const - pt.y, -pt.point)

@@ -1,0 +1,82 @@
+"""RSA (PKCS#1 v1.5) signature verification in constraints.
+
+The DNSSEC root ZSK signs with RSA, so S_NOPE verifies one RSA signature.
+Verification is ``s^e mod N == EM`` with ``e = 65537``: sixteen modular
+squarings and one multiplication.
+
+The modulus is treated as a *compile-time constant* baked into the
+statement (NOPE's statement is generated per root-key epoch, matching
+DNSSEC's key ceremonies), which is what lets the matrix-M reduction (§5.1)
+apply: each squaring is a limb product followed by a free reduction and a
+carry-checked re-canonicalization.  The enclosing statement separately
+equality-checks the baked constant against the root-ZSK public input, so
+the proof remains bound to the runtime root key.
+
+A naive variant (for the ablation) re-canonicalizes with a full
+division-style mod after every squaring without the matrix trick.
+"""
+
+from ..errors import SynthesisError
+from .bigint import LimbInt, naive_mod_reduce
+
+
+def modexp_65537(cs, base, modulus, limb_bits, label="rsa", naive=False):
+    """Compute base^65537 mod modulus (modulus a compile-time int).
+
+    ``base``: canonical LimbInt.  Returns a canonical LimbInt.
+    """
+    x = base
+    for i in range(16):
+        sq = x.mul(cs, x, "%s.sq%d" % (label, i))
+        if naive:
+            x = naive_mod_reduce(cs, sq, modulus, "%s.n%d" % (label, i))
+        else:
+            red = sq.reduce_mod(cs, modulus)
+            x = red.normalize(cs, modulus, "%s.c%d" % (label, i))
+    final = x.mul(cs, base, label + ".fin")
+    if naive:
+        return naive_mod_reduce(cs, final, modulus, label + ".nfin")
+    red = final.reduce_mod(cs, modulus)
+    return red.normalize(cs, modulus, label + ".cfin")
+
+
+def verify_rsa_pkcs1(
+    cs,
+    signature,
+    modulus,
+    digest_bytes,
+    digest_prefix,
+    limb_bits,
+    label="rsaver",
+    naive=False,
+):
+    """Verify sig^65537 mod N == EM(digest) in constraints.
+
+    ``signature``: canonical LimbInt (parsed from the RRSIG record);
+    ``modulus``: the compile-time modulus int;
+    ``digest_bytes``: list of (lc, value) byte pairs — the in-circuit hash
+    output that the encoded message must end with;
+    ``digest_prefix``: the constant EM prefix bytes (0x00 0x01 0xFF.. 0x00
+    DigestInfo for PKCS#1 v1.5, or the zero padding of the toy scheme).
+    """
+    em_len = (modulus.bit_length() + 7) // 8
+    if len(digest_prefix) + len(digest_bytes) != em_len:
+        raise SynthesisError("EM length mismatch")
+    # range/nontriviality: s < N
+    signature.assert_lt_const(cs, modulus, label + ".s_lt")
+    result = modexp_65537(cs, signature, modulus, limb_bits, label, naive=naive)
+    # EM = prefix || digest as a LimbInt: prefix is constant, digest variable
+    prefix_int = int.from_bytes(bytes(digest_prefix), "big")
+    shift = 8 * len(digest_bytes)
+    prefix_li = LimbInt.from_const(
+        cs, prefix_int << shift, limb_bits, result.num_limbs
+    )
+    digest_li = LimbInt.from_bytes_be(
+        cs,
+        [lc for lc, _ in digest_bytes],
+        [v for _, v in digest_bytes],
+        limb_bits,
+    )
+    # pad digest to the same limb count for the comparison
+    em = prefix_li + digest_li
+    result.assert_equal_int(cs, em, label + ".em")

@@ -1,0 +1,289 @@
+"""SHA-256 in constraints.
+
+Words are 32 little-endian-ordered bit wires; rotations and shifts are free
+wire permutations, XOR costs one multiplication per bit per pair, and every
+modular addition packs the operands into one linear combination and pays a
+single widened bit decomposition.  At 64 rounds a block costs ~29k
+constraints — the reason the production NOPE statement's hashing is a major
+cost center, and the reason the scaled profile swaps in the sponge hash.
+
+Two entry points:
+
+* :func:`sha256_gadget` — fixed-length message, compile-time padding;
+* :func:`sha256_var_gadget` — fixed-capacity buffer with dynamic length:
+  masks the tail, injects the 0x80 separator and bit-length via indicator
+  arithmetic, and selects the digest at the witness block boundary.  Used
+  by the production statement where record lengths are dynamic.
+"""
+
+from ..errors import SynthesisError
+from ..hashes.sha256 import _IV, _K
+from .bits import bit_decompose
+from .strings import indicator, mask_keep_prefix, suffix_sum
+
+
+def _xor2(cs, a, b, label):
+    prod = cs.mul(a, b, label)
+    return a + b - prod * 2
+
+
+def _xor3(cs, a, b, c, label):
+    return _xor2(cs, _xor2(cs, a, b, label + "x"), c, label + "y")
+
+
+def _word_to_lc(bits):
+    acc = None
+    for i, b in enumerate(bits):
+        term = b * (1 << i)
+        acc = term if acc is None else acc + term
+    return acc
+
+
+def _const_word(cs, value):
+    return [cs.constant((value >> i) & 1) for i in range(32)]
+
+
+def _rotr(bits, n):
+    return [bits[(i + n) % 32] for i in range(32)]
+
+
+def _shr(cs, bits, n):
+    zero = cs.constant(0)
+    return [bits[i + n] if i + n < 32 else zero for i in range(32)]
+
+
+def _add_mod32(cs, packed_lcs, total_value, n_addends, label):
+    """Sum packed 32-bit words mod 2^32; returns (bits, packed_lc)."""
+    width = 32 + max(1, (n_addends - 1)).bit_length()
+    acc = None
+    for lc in packed_lcs:
+        acc = lc if acc is None else acc + lc
+    bits = bit_decompose(cs, acc, width, label)
+    low = bits[:32]
+    return low, _word_to_lc(low)
+
+
+def _ch(cs, e, f, g, label):
+    # per bit: e ? f : g  ==  g + e*(f - g)
+    out = []
+    for i in range(32):
+        prod = cs.mul(e[i], f[i] - g[i], "%s[%d]" % (label, i))
+        out.append(g[i] + prod)
+    return out
+
+
+def _maj(cs, a, b, c, label):
+    # per bit: ab + c(a + b - 2ab)
+    out = []
+    for i in range(32):
+        ab = cs.mul(a[i], b[i], "%s.ab[%d]" % (label, i))
+        t = cs.mul(c[i], a[i] + b[i] - ab * 2, "%s.c[%d]" % (label, i))
+        out.append(ab + t)
+    return out
+
+
+def _big_sigma(cs, bits, r1, r2, r3, label):
+    out = []
+    a = _rotr(bits, r1)
+    b = _rotr(bits, r2)
+    c = _rotr(bits, r3)
+    for i in range(32):
+        out.append(_xor3(cs, a[i], b[i], c[i], "%s[%d]" % (label, i)))
+    return out
+
+
+def _small_sigma(cs, bits, r1, r2, s, label):
+    out = []
+    a = _rotr(bits, r1)
+    b = _rotr(bits, r2)
+    c = _shr(cs, bits, s)
+    for i in range(32):
+        out.append(_xor3(cs, a[i], b[i], c[i], "%s[%d]" % (label, i)))
+    return out
+
+
+def compress_gadget(cs, state_bits, block_word_bits, rounds=64, label="sha"):
+    """One compression over bit-decomposed state and message words.
+
+    ``state_bits``: 8 words (32 bit wires each); ``block_word_bits``: 16
+    words.  Returns the new state as bit words.
+    """
+    # message schedule
+    w = list(block_word_bits)
+    for i in range(16, rounds):
+        s0 = _small_sigma(cs, w[i - 15], 7, 18, 3, "%s.s0_%d" % (label, i))
+        s1 = _small_sigma(cs, w[i - 2], 17, 19, 10, "%s.s1_%d" % (label, i))
+        bits, _ = _add_mod32(
+            cs,
+            [
+                _word_to_lc(w[i - 16]),
+                _word_to_lc(s0),
+                _word_to_lc(w[i - 7]),
+                _word_to_lc(s1),
+            ],
+            None,
+            4,
+            "%s.w%d" % (label, i),
+        )
+        w.append(bits)
+    a, b, c, d, e, f, g, h = state_bits
+    for i in range(rounds):
+        s1 = _big_sigma(cs, e, 6, 11, 25, "%s.S1_%d" % (label, i))
+        ch = _ch(cs, e, f, g, "%s.ch%d" % (label, i))
+        s0 = _big_sigma(cs, a, 2, 13, 22, "%s.S0_%d" % (label, i))
+        maj = _maj(cs, a, b, c, "%s.mj%d" % (label, i))
+        t1_parts = [
+            _word_to_lc(h),
+            _word_to_lc(s1),
+            _word_to_lc(ch),
+            cs.constant(_K[i]),
+            _word_to_lc(w[i]),
+        ]
+        new_e, _ = _add_mod32(
+            cs, [_word_to_lc(d)] + t1_parts, None, 6, "%s.e%d" % (label, i)
+        )
+        new_a, _ = _add_mod32(
+            cs,
+            t1_parts + [_word_to_lc(s0), _word_to_lc(maj)],
+            None,
+            7,
+            "%s.a%d" % (label, i),
+        )
+        a, b, c, d, e, f, g, h = new_a, a, b, c, new_e, e, f, g
+    out = []
+    for init, var in zip(state_bits, (a, b, c, d, e, f, g, h)):
+        bits, _ = _add_mod32(
+            cs, [_word_to_lc(init), _word_to_lc(var)], None, 2, label + ".fin"
+        )
+        out.append(bits)
+    return out
+
+
+def _bytes_to_word_bits(cs, byte_lcs, label):
+    """Decompose byte wires into big-endian 32-bit words of bit wires."""
+    if len(byte_lcs) % 4:
+        raise SynthesisError("message must be a multiple of 4 bytes")
+    words = []
+    for w_i in range(len(byte_lcs) // 4):
+        bits = [None] * 32
+        for b_i in range(4):
+            lc = byte_lcs[4 * w_i + b_i]
+            byte_bits = bit_decompose(cs, lc, 8, "%s.b%d_%d" % (label, w_i, b_i))
+            # byte b_i contributes bits 8*(3-b_i) .. 8*(3-b_i)+7
+            lo = 8 * (3 - b_i)
+            for k in range(8):
+                bits[lo + k] = byte_bits[k]
+        words.append(bits)
+    return words
+
+
+def sha256_gadget(cs, byte_lcs, byte_vals, rounds=64, label="sha256"):
+    """Hash a fixed-length message; returns 32 digest byte LCs (+values).
+
+    Padding is computed at compile time (the length is static).
+    """
+    from ..hashes.sha256 import pad_message, sha256
+
+    msg_len = len(byte_lcs)
+    padded_extra = pad_message(b"\x00" * msg_len)[msg_len:]
+    all_lcs = list(byte_lcs) + [cs.constant(b) for b in padded_extra]
+    words = _bytes_to_word_bits(cs, all_lcs, label)
+    state = [_const_word(cs, iv) for iv in _IV]
+    for blk in range(len(all_lcs) // 64):
+        state = compress_gadget(
+            cs, state, words[16 * blk : 16 * blk + 16], rounds, "%s.c%d" % (label, blk)
+        )
+    digest_lcs = []
+    for word_bits in state:
+        for b_i in range(4):
+            lo = 8 * (3 - b_i)
+            lc = None
+            for k in range(8):
+                term = word_bits[lo + k] * (1 << k)
+                lc = term if lc is None else lc + term
+            digest_lcs.append(lc)
+    digest_vals = list(sha256(bytes(byte_vals), rounds=rounds))
+    return digest_lcs, digest_vals
+
+
+def sha256_var_gadget(cs, byte_lcs, byte_vals, length_lc, length_val, rounds=64, label="shav"):
+    """Hash a fixed-capacity buffer with a dynamic byte length.
+
+    The tail beyond ``length`` is masked to zero, the 0x80 separator is
+    injected by indicator arithmetic, the 64-bit message bit-length is
+    added into the final active block's last words, and the digest is the
+    state after the active block (selected by a one-hot over blocks).
+    ``capacity`` must leave >= 9 bytes of padding room after any allowed
+    length (callers size buffers as multiple-of-64 with 9 spare bytes).
+    """
+    capacity = len(byte_lcs)
+    if capacity % 64:
+        raise SynthesisError("capacity must be a multiple of 64")
+    if length_val > capacity - 9:
+        raise SynthesisError("length leaves no padding room")
+    nblocks = capacity // 64
+    masked = mask_keep_prefix(cs, byte_lcs, length_lc, label + ".mask")
+    sep = indicator(cs, length_lc, capacity, label + ".sep")
+    padded = [masked[i] + sep[i] * 0x80 for i in range(capacity)]
+    padded_vals = [
+        (byte_vals[i] if i < length_val else 0) + (0x80 if i == length_val else 0)
+        for i in range(capacity)
+    ]
+    # which block finishes the message: blk = floor((length + 8) / 64)
+    active = (length_val + 8) // 64
+    blk_wire = cs.alloc(active, label + ".blk")
+    # verify: 0 <= length + 8 - 64*blk < 64
+    bit_decompose(cs, length_lc + 8 - blk_wire * 64, 6, label + ".blkrc")
+    blk_ind = indicator(cs, blk_wire, nblocks, label + ".blkind")
+    # bit-length contribution: 8*length as 3 bytes at the end of the active
+    # block; inject into the packed words below (positions 64b+61..63)
+    bitlen = length_val * 8
+    length_byte_lcs = []
+    for k in range(3):  # supports capacity < 2^21 bytes
+        shift = 8 * (2 - k)
+        length_byte_lcs.append((k, shift))
+    # decompose length*8 into 3 byte wires for injection
+    lb_wires = []
+    for k in range(3):
+        v = (bitlen >> (8 * (2 - k))) & 0xFF
+        wire = cs.alloc(v, "%s.lb%d" % (label, k))
+        bit_decompose(cs, wire, 8, "%s.lbrc%d" % (label, k))
+        lb_wires.append((wire, v))
+    cs.enforce_equal(
+        lb_wires[0][0] * 65536 + lb_wires[1][0] * 256 + lb_wires[2][0],
+        length_lc * 8,
+        label + ".lbsum",
+    )
+    for b in range(nblocks):
+        for k in range(3):
+            pos = 64 * b + 61 + k
+            padded[pos] = padded[pos] + cs.mul(
+                blk_ind[b], lb_wires[k][0], "%s.inj%d_%d" % (label, b, k)
+            )
+            if b == active:
+                padded_vals[pos] += lb_wires[k][1]
+    words = _bytes_to_word_bits(cs, padded, label)
+    state = [_const_word(cs, iv) for iv in _IV]
+    packed_states = []
+    for blk in range(nblocks):
+        state = compress_gadget(
+            cs, state, words[16 * blk : 16 * blk + 16], rounds, "%s.c%d" % (label, blk)
+        )
+        packed_states.append([_word_to_lc(wb) for wb in state])
+    # digest = state after the active block
+    digest_words = []
+    for w_i in range(8):
+        acc = None
+        for b in range(nblocks):
+            term = cs.mul(blk_ind[b], packed_states[b][w_i], "%s.sel%d_%d" % (label, w_i, b))
+            acc = term if acc is None else acc + term
+        digest_words.append(acc)
+    from ..hashes.sha256 import compress as native_compress
+
+    # native recompute for the witness values
+    native_state = list(_IV)
+    buf = bytes(padded_vals)
+    for blk in range(active + 1):
+        native_state = native_compress(native_state, buf[64 * blk : 64 * blk + 64], rounds)
+    digest_vals = b"".join(x.to_bytes(4, "big") for x in native_state)
+    return digest_words, digest_vals

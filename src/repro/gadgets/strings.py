@@ -1,0 +1,259 @@
+"""The paper's string-manipulation primitives in R1CS (§4.3, Appendix B).
+
+Three composable primitives let constraints parse length-prefixed formats
+(like DNS RRsets) without RAM emulation:
+
+* :func:`scan`   — verify a claimed field start and learn its length
+                   (linear, small constant);
+* :func:`slice_gadget` — extract a fixed-length window starting at a
+                   dynamic index (chained conditional shifts);
+* :func:`mask`   — zero everything beyond a dynamic index (2L + 1).
+
+Naive counterparts (:func:`mask_naive`, :func:`slice_naive`) implement the
+pre-NOPE approaches from the literature and exist for the ablation
+benchmarks: the tests check both versions compute identical outputs while
+the benchmarks compare their constraint counts.
+"""
+
+import math
+
+from ..errors import SynthesisError
+from .bits import bit_decompose, geq_const, map_nonzero_to_zero, select
+
+
+# -- indicator / suffix sum / mask (§4.3) ------------------------------------
+
+
+def indicator(cs, index_lc, length, label="ind"):
+    """Array of ``length`` wires: all 0 except a 1 at position ``index``.
+
+    Cost: length + 1.  (One map_nonzero_to_zero per position plus the
+    sum==1 constraint, exactly as in the paper.)  Sound for any prover:
+    positions other than ``index`` are forced to 0 and the sum forces the
+    remaining one to 1.
+    """
+    res = []
+    total = cs.constant(0)
+    for j in range(length):
+        z = map_nonzero_to_zero(cs, cs.constant(j) - index_lc, "%s[%d]" % (label, j))
+        res.append(z)
+        total = total + z
+    cs.enforce_equal(total, cs.constant(1), label + " sum")
+    return res
+
+
+def suffix_sum(arr):
+    """res[i] = sum(arr[j] for j >= i).  Zero constraints (linear combos)."""
+    res = [None] * len(arr)
+    acc = None
+    for i in range(len(arr) - 1, -1, -1):
+        acc = arr[i] if acc is None else acc + arr[i]
+        res[i] = acc
+    return res
+
+
+def mask(cs, arr, ell_lc, label="mask"):
+    """Zero all entries at indices > ell (keep 0..ell).  Cost: 2L + 1.
+
+    NOPE's composition (§4.3): h = suffixSum(indicator(ell)) is the step
+    vector (1,...,1,0,...,0) with the last 1 at index ell; the final
+    component-wise product costs one constraint per entry.
+    """
+    h = suffix_sum(indicator(cs, ell_lc, len(arr), label + ".ind"))
+    return [
+        cs.mul(arr[i], h[i], "%s[%d]" % (label, i)) for i in range(len(arr))
+    ]
+
+
+def mask_keep_prefix(cs, arr, length_lc, label="maskp"):
+    """Keep entries 0..length-1, zero the rest (length semantics).
+
+    Same technique as :func:`mask` with the indicator ranging over L + 1
+    positions so length may be 0 or L.  Cost: 2L + 2.
+    """
+    ind = indicator(cs, length_lc, len(arr) + 1, label + ".ind")
+    h = suffix_sum(ind)
+    # h[i] = 1 iff length >= i; entry i survives iff length >= i + 1
+    return [
+        cs.mul(arr[i], h[i + 1], "%s[%d]" % (label, i))
+        for i in range(len(arr))
+    ]
+
+
+def mask_naive(cs, arr, ell_lc, label="masknaive"):
+    """The pre-NOPE mask: a comparison per entry.  Cost: L * (3 + nbits).
+
+    Each entry pays a geq_const-style comparison (a bit decomposition of
+    log L bits) plus the select — the paper's  L * (2 + ceil(log L)).
+    """
+    length = len(arr)
+    nbits = max(1, math.ceil(math.log2(length + 1)))
+    out = []
+    for i in range(length):
+        # keep iff ell >= i
+        keep = geq_const(cs, ell_lc, i, nbits, "%s.cmp%d" % (label, i))
+        out.append(select(cs, keep, arr[i], 0, "%s[%d]" % (label, i)))
+    return out
+
+
+# -- conditional shift and slice (Appendix B.1) ------------------------------
+
+
+def condshift(cs, arr, flag, shift, out_len=None, label="cshift"):
+    """If flag: arr shifted left by ``shift`` (zero-filled); else arr.
+
+    Cost: one constraint per output element.
+    """
+    m = len(arr) if out_len is None else out_len
+    res = []
+    for i in range(m):
+        src_shifted = arr[i + shift] if i + shift < len(arr) else cs.constant(0)
+        src_plain = arr[i] if i < len(arr) else cs.constant(0)
+        res.append(
+            select(cs, flag, src_shifted, src_plain, "%s[%d]" % (label, i))
+        )
+    return res
+
+
+def slice_gadget(cs, msg, index_lc, out_len, label="slice"):
+    """Extract msg[index : index + out_len] (dynamic index).
+
+    NOPE's construction: binary-decompose the index, then apply a
+    conditional shift per bit from the most significant down, shrinking the
+    live prefix as the maximum residual shift shrinks.  Worst-case cost
+    ~ M log M but effectively O(M + L log M) for small L.
+    """
+    m = len(msg)
+    if out_len > m:
+        raise SynthesisError("slice longer than message")
+    nbits = max(1, math.ceil(math.log2(m))) if m > 1 else 1
+    bits = bit_decompose(cs, index_lc, nbits, label + ".bits")
+    arr = list(msg)
+    for j in range(nbits - 1, -1, -1):
+        shift = 1 << j
+        # after this round the residual shift is < 2^j, so only the first
+        # out_len + 2^j - 1 entries can still reach the output window
+        live = min(out_len + shift - 1, len(arr))
+        arr = condshift(
+            cs, arr, bits[j], shift, out_len=live, label="%s.r%d" % (label, j)
+        )
+    return arr[:out_len]
+
+
+def slice_naive(cs, msg, index_lc, out_len, label="slicenaive"):
+    """The pre-NOPE linear scan slice: M * L constraints [zkLogin-style].
+
+    Output j is the inner product of the start indicator with the
+    j-shifted message; every product is wire*wire, costing M constraints
+    per output element.
+    """
+    m = len(msg)
+    ind = indicator(cs, index_lc, m, label + ".ind")
+    out = []
+    for j in range(out_len):
+        acc = cs.constant(0)
+        for i in range(m):
+            if i + j < m:
+                acc = acc + cs.mul(ind[i], msg[i + j], "%s[%d,%d]" % (label, j, i))
+        out.append(acc)
+    return out
+
+
+def slice_and_pack(cs, msg, index_lc, out_len, pack_limit_bytes=16, label="spack"):
+    """Slice with progressive packing (Appendix B.1, sliceAndPack).
+
+    Processes the index bits from least significant up, merging adjacent
+    elements after each round so every subsequent round works on half as
+    many (wider) elements.  Cost just under 2M + log M + 2.  Returns
+    ``(elements, bytes_per_element)`` — the output is in packed big-endian
+    radix-256 format, ``out_len`` bytes spread over
+    ``ceil(out_len / bytes_per_element)`` elements.
+    """
+    m = len(msg)
+    nbits = max(1, math.ceil(math.log2(m))) if m > 1 else 1
+    bits = bit_decompose(cs, index_lc, nbits, label + ".bits")
+    arr = list(msg)
+    elem_bytes = 1
+    for j in range(nbits):
+        # shift amount in *elements*: 2^j bytes / current element width
+        shift_elems = (1 << j) // elem_bytes
+        # residual useful prefix: out_len bytes plus what higher bits may shift
+        residual_elems = (out_len + (1 << nbits) - (1 << j)) // elem_bytes + 2
+        live = min(residual_elems, len(arr))
+        arr = condshift(
+            cs, arr[:live], bits[j], shift_elems, label="%s.r%d" % (label, j)
+        )
+        # merge adjacent pairs while elements stay well below field size
+        if elem_bytes * 2 <= pack_limit_bytes and j < nbits - 1:
+            merged = []
+            for k in range(0, len(arr) - 1, 2):
+                merged.append(arr[k] * (1 << (8 * elem_bytes)) + arr[k + 1])
+            if len(arr) % 2:
+                merged.append(arr[-1] * (1 << (8 * elem_bytes)))
+            arr = merged
+            elem_bytes *= 2
+    n_out = (out_len + elem_bytes - 1) // elem_bytes
+    return arr[:n_out], elem_bytes
+
+
+def condshift_right(cs, arr, flag, shift, label="cshiftr"):
+    """If flag: arr shifted right by ``shift`` (zero-filled at the front)."""
+    res = []
+    for i in range(len(arr)):
+        src_shifted = arr[i - shift] if i - shift >= 0 else cs.constant(0)
+        res.append(select(cs, flag, src_shifted, arr[i], "%s[%d]" % (label, i)))
+    return res
+
+
+def place_at_dynamic(cs, arr, offset_lc, capacity, label="place"):
+    """Return a capacity-length vector with ``arr`` starting at ``offset``.
+
+    The dual of :func:`slice_gadget`: a chain of conditional right-shifts
+    over the offset's bits.  Entries of ``arr`` shifted past ``capacity``
+    are dropped (callers bound offsets so this cannot happen for honest
+    witnesses; the enclosing length checks catch malicious ones).
+    """
+    import math as _math
+
+    nbits = max(1, _math.ceil(_math.log2(capacity))) if capacity > 1 else 1
+    bits = bit_decompose(cs, offset_lc, nbits, label + ".bits")
+    out = list(arr) + [cs.constant(0)] * (capacity - len(arr))
+    out = out[:capacity]
+    for j in range(nbits):
+        out = condshift_right(cs, out, bits[j], 1 << j, "%s.r%d" % (label, j))
+    return out
+
+
+# -- scan (Appendix B.2) ------------------------------------------------------
+
+
+def scan(cs, msg, start_lc, header_len, label="scan"):
+    """Verify ``start`` begins a record in a length-prefixed buffer.
+
+    The format follows Appendix B.2's recipe: a ``header_len``-byte header
+    followed by records whose first byte is the total record length
+    (including the length byte itself).  Returns the length wire of the
+    record starting at ``start``.
+
+    Per-byte cost 5 (paper reports 4; our select and the length extraction
+    are separate multiplications), plus the indicator.
+
+    Soundness: a cheating flag wire (the map_nonzero_to_zero output) can
+    only *skip* a counter reset, driving the counter negative (wrapping in
+    the field) so it never returns to zero — making the indicator's
+    position constraint unsatisfiable.  See tests.
+    """
+    loc = indicator(cs, start_lc, len(msg), label + ".ind")
+    counter = cs.constant(header_len)
+    length = cs.constant(0)
+    for i, byte in enumerate(msg):
+        # counter must be zero where the record allegedly starts
+        cs.enforce(counter, loc[i], cs.constant(0), "%s.at[%d]" % (label, i))
+        # extract the length byte at the start position
+        length = length + cs.mul(loc[i], byte, "%s.len[%d]" % (label, i))
+        # z = 1 at record boundaries (counter == 0), else forced to 0
+        z = map_nonzero_to_zero(cs, counter, "%s.z[%d]" % (label, i))
+        # counter <- (z ? msg[i] : counter) - 1
+        reset = cs.mul(z, byte - counter, "%s.sel[%d]" % (label, i))
+        counter = reset + counter - 1
+    return length

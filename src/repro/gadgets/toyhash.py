@@ -1,0 +1,108 @@
+"""The scaled-profile sponge hash as a gadget.
+
+Mirrors :mod:`repro.hashes.toyhash` exactly, except that the circuit hashes
+a *fixed-capacity* buffer with an explicit dynamic length: the caller
+supplies ``capacity`` byte wires (of which the first ``length`` are the
+message and the rest are already constrained to zero, e.g. by
+:func:`repro.gadgets.strings.mask_keep_prefix`) plus the 0x80 domain-
+separator injected at position ``length`` via the caller's indicator.  The
+native counterpart is :func:`toyhash_padded` below, which the toy DNSSEC
+profile uses for all signing/digest operations so that native and
+in-circuit hashing agree bit-for-bit.
+"""
+
+from ..hashes.toyhash import DIGEST_SIZE, FIELD_MODULUS, RATE, ROUND_CONSTANTS, permute
+from .bits import field_decompose_strict
+
+
+def toyhash_padded(data, capacity):
+    """Native fixed-capacity hash: data zero-padded to ``capacity`` bytes.
+
+    ``capacity`` must be a multiple of RATE and strictly exceed the data
+    length (the 0x80 separator sits at position ``len(data)``).  Chunks of
+    the buffer are absorbed, then the exact length.  This is the toy
+    profile's signing hash; it differs from the streaming
+    :func:`repro.hashes.toyhash.toyhash` only in padding policy, and it is
+    bit-identical to :func:`toyhash_gadget` on the same buffer.
+    """
+    if capacity % RATE:
+        raise ValueError("capacity must be a multiple of RATE")
+    if len(data) >= capacity:
+        raise ValueError("data leaves no separator room")
+    buf = bytearray(capacity)
+    buf[: len(data)] = data
+    buf[len(data)] = 0x80
+    s0, s1 = 0, 1
+    for i in range(0, len(buf), RATE):
+        chunk = int.from_bytes(buf[i : i + RATE], "big")
+        s0 = (s0 + chunk) % FIELD_MODULUS
+        s0, s1 = permute(s0, s1)
+    s0 = (s0 + len(data)) % FIELD_MODULUS
+    s0, s1 = permute(s0, s1)
+    mask = (1 << (8 * DIGEST_SIZE)) - 1
+    return (s0 & mask).to_bytes(DIGEST_SIZE, "big")
+
+
+def permute_gadget(cs, s0, s1, s0_val, s1_val, label="perm"):
+    """One sponge permutation: 3 constraints per round (x^5 via 3 muls)."""
+    p = FIELD_MODULUS
+    for rnd, c in enumerate(ROUND_CONSTANTS):
+        t = s0 + c
+        t_val = (s0_val + c) % p
+        t2 = cs.mul(t, t, "%s.%d.t2" % (label, rnd))
+        t4 = cs.mul(t2, t2, "%s.%d.t4" % (label, rnd))
+        t5 = cs.mul(t4, t, "%s.%d.t5" % (label, rnd))
+        t5_val = pow(t_val, 5, p)
+        s0, s1, s0_val, s1_val = s1 + t5, s0, (s1_val + t5_val) % p, s0_val
+    return s0, s1, s0_val, s1_val
+
+
+def toyhash_gadget(cs, byte_lcs, byte_vals, length_lc, length_val, label="toyhash"):
+    """Hash a fixed-capacity buffer with dynamic length; returns digest bytes.
+
+    ``byte_lcs``/``byte_vals``: the padded buffer INCLUDING the 0x80
+    separator at position ``length`` (the caller constructs this with mask
+    + indicator; see :func:`repro.core.statement`-level helpers).  Returns
+    ``(digest_lcs, digest_vals)`` — DIGEST_SIZE byte wires, range-checked.
+
+    Cost: ~3*ROUNDS per RATE-byte chunk, plus one field decomposition for
+    the truncation.
+    """
+    capacity = len(byte_lcs)
+    if capacity % RATE:
+        raise ValueError("buffer capacity must be a multiple of RATE")
+    s0, s1 = cs.constant(0), cs.constant(1)
+    s0_val, s1_val = 0, 1
+    for off in range(0, capacity, RATE):
+        chunk = None
+        chunk_val = 0
+        for k in range(RATE):
+            term = byte_lcs[off + k] * (1 << (8 * (RATE - 1 - k)))
+            chunk = term if chunk is None else chunk + term
+            chunk_val = (chunk_val << 8) | byte_vals[off + k]
+        s0 = s0 + chunk
+        s0_val = (s0_val + chunk_val) % FIELD_MODULUS
+        s0, s1, s0_val, s1_val = permute_gadget(
+            cs, s0, s1, s0_val, s1_val, "%s.p%d" % (label, off // RATE)
+        )
+    s0 = s0 + length_lc
+    s0_val = (s0_val + length_val) % FIELD_MODULUS
+    s0, s1, s0_val, s1_val = permute_gadget(
+        cs, s0, s1, s0_val, s1_val, label + ".pfin"
+    )
+    # truncate: canonically decompose the final state and keep the low
+    # 8*DIGEST_SIZE bits (strict decomposition closes the +p alias)
+    bits = field_decompose_strict(cs, s0, label + ".trunc")
+    digest_lcs = []
+    digest_vals = []
+    digest_int = s0_val & ((1 << (8 * DIGEST_SIZE)) - 1)
+    for byte_i in range(DIGEST_SIZE):
+        # big-endian output order
+        lo = 8 * (DIGEST_SIZE - 1 - byte_i)
+        lc = None
+        for b in range(8):
+            term = bits[lo + b] * (1 << b)
+            lc = term if lc is None else lc + term
+        digest_lcs.append(lc)
+        digest_vals.append((digest_int >> lo) & 0xFF)
+    return digest_lcs, digest_vals

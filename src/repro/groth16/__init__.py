@@ -1,0 +1,61 @@
+"""Groth16 zkSNARK over BN254: setup, prove, verify, 128-byte proofs."""
+
+from .fft import coset_fft, coset_ifft, domain_root, fft, ifft
+from .keys import Proof, ProvingKey, ToxicWaste, VerifyingKey
+from .prove import compute_h_coefficients, prove
+from .rerandomize import proof_in_groups, rerandomize
+from .serialize import (
+    PROOF_SIZE,
+    g1_from_bytes,
+    g1_to_bytes,
+    g2_from_bytes,
+    g2_to_bytes,
+    proof_from_bytes,
+    proof_to_bytes,
+)
+from .setup import evaluate_qap_at, forge_with_toxic_waste, setup
+from .simulation import (
+    SIM_PROOF_SIZE,
+    SimulatedKey,
+    SimulatedProof,
+    sim_prove,
+    sim_setup,
+    sim_verify,
+)
+from .verify import PreparedVerifyingKey, is_valid, prepare, verify
+
+__all__ = [
+    "setup",
+    "prove",
+    "verify",
+    "is_valid",
+    "prepare",
+    "PreparedVerifyingKey",
+    "Proof",
+    "ProvingKey",
+    "VerifyingKey",
+    "ToxicWaste",
+    "forge_with_toxic_waste",
+    "evaluate_qap_at",
+    "compute_h_coefficients",
+    "rerandomize",
+    "proof_in_groups",
+    "proof_to_bytes",
+    "proof_from_bytes",
+    "g1_to_bytes",
+    "g1_from_bytes",
+    "g2_to_bytes",
+    "g2_from_bytes",
+    "PROOF_SIZE",
+    "fft",
+    "ifft",
+    "coset_fft",
+    "coset_ifft",
+    "domain_root",
+    "sim_setup",
+    "sim_prove",
+    "sim_verify",
+    "SimulatedKey",
+    "SimulatedProof",
+    "SIM_PROOF_SIZE",
+]

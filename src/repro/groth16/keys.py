@@ -1,0 +1,83 @@
+"""Groth16 key material and proof containers."""
+
+
+class Proof:
+    """A Groth16 proof: (A in G1, B in G2, C in G1).  128 bytes serialized."""
+
+    __slots__ = ("a", "b", "c")
+
+    def __init__(self, a, b, c):
+        self.a = a
+        self.b = b
+        self.c = c
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Proof)
+            and self.a == other.a
+            and self.b == other.b
+            and self.c == other.c
+        )
+
+    def __repr__(self):
+        return "Proof(Groth16)"
+
+
+class VerifyingKey:
+    """What a verifier needs: alpha/beta/gamma/delta and the IC points."""
+
+    def __init__(self, alpha_g1, beta_g2, gamma_g2, delta_g2, ic):
+        self.alpha_g1 = alpha_g1
+        self.beta_g2 = beta_g2
+        self.gamma_g2 = gamma_g2
+        self.delta_g2 = delta_g2
+        self.ic = ic  # list of G1 points, one per (1 + public input)
+
+    @property
+    def num_public(self):
+        return len(self.ic) - 1
+
+
+class ProvingKey:
+    """The prover's CRS slice."""
+
+    def __init__(
+        self,
+        alpha_g1,
+        beta_g1,
+        beta_g2,
+        delta_g1,
+        delta_g2,
+        a_query,
+        b_g1_query,
+        b_g2_query,
+        h_query,
+        l_query,
+        vk,
+    ):
+        self.alpha_g1 = alpha_g1
+        self.beta_g1 = beta_g1
+        self.beta_g2 = beta_g2
+        self.delta_g1 = delta_g1
+        self.delta_g2 = delta_g2
+        self.a_query = a_query  # [A_i(tau)]_1 per variable
+        self.b_g1_query = b_g1_query  # [B_i(tau)]_1
+        self.b_g2_query = b_g2_query  # [B_i(tau)]_2
+        self.h_query = h_query  # [tau^i t(tau)/delta]_1
+        self.l_query = l_query  # [(beta A_i + alpha B_i + C_i)/delta]_1, witness wires
+        self.vk = vk
+
+
+class ToxicWaste:
+    """The trusted-setup trapdoor.  MUST be destroyed after setup.
+
+    Retained only by tests and the forgery demonstration
+    (:func:`repro.groth16.setup.forge_with_toxic_waste`), which shows why.
+    """
+
+    def __init__(self, tau, alpha, beta, gamma, delta):
+        self.tau = tau
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self.delta = delta

@@ -1,0 +1,46 @@
+"""Proof malleability: re-randomization and the checks around it.
+
+Groth16 proofs are malleable: anyone can transform a valid (A, B, C) into a
+different-looking valid proof *for the same statement and public inputs*
+(weak simulation extractability tolerates exactly this; §3.2).  NOPE's
+protocol accounts for it — a mauled proof still binds the same T, N, TS, so
+a compromised CA reusing a proof across certificates is caught by the CT
+timestamp consistency check, not by proof uniqueness.
+
+:func:`rerandomize` implements the standard transformation
+
+    A' = t * A,    B' = t^{-1} * B + s * delta,    C' = C + (t*s) * A'
+
+(with A' folded in), which the test suite uses to demonstrate both the
+malleability and the impossibility of *changing the public inputs* this
+way.
+"""
+
+import secrets
+
+from ..ec.curves import BN254_R
+from .keys import Proof
+
+R = BN254_R
+
+
+def rerandomize(vk, proof, t=None, s=None):
+    """Produce a distinct, equally valid proof of the same statement."""
+    t = t if t is not None else secrets.randbelow(R - 2) + 2
+    s = s if s is not None else secrets.randbelow(R - 1) + 1
+    t_inv = pow(t, -1, R)
+    a2 = t * proof.a
+    b2 = t_inv * proof.b + s * vk.delta_g2
+    # e(A', B') = e(A, B) * e(A, delta)^(t s); compensate in C
+    c2 = proof.c + (t * s % R) * proof.a
+    return Proof(a2, b2, c2)
+
+
+def proof_in_groups(proof):
+    """Subgroup/curve membership checks for a deserialized proof."""
+    a_ok = (not proof.a.is_infinity) and proof.a.curve.contains(
+        proof.a.x, proof.a.y
+    )
+    c_ok = proof.c.is_infinity or proof.c.curve.contains(proof.c.x, proof.c.y)
+    b_ok = (not proof.b.is_infinity) and proof.b.in_subgroup()
+    return a_ok and b_ok and c_ok

@@ -1,0 +1,64 @@
+"""A non-cryptographic stand-in backend for fast protocol tests.
+
+The real Groth16 backend proves toy statements in tens of seconds of pure
+Python; protocol-level tests that would otherwise re-prove dozens of times
+use this backend instead.  It checks R1CS satisfiability *for real* (so an
+unsatisfied statement still fails to "prove") and emits a MAC-like
+attestation binding the statement structure and public inputs.
+
+This is explicitly NOT a proof system: anyone holding the setup token can
+forge.  Production code paths select the backend via
+:mod:`repro.profiles`; the slow tests and the quickstart example run the
+real Groth16 end-to-end.
+"""
+
+import hashlib
+import secrets
+
+from ..errors import ProofError, ProvingError
+
+SIM_PROOF_SIZE = 128
+
+
+class SimulatedKey:
+    """Plays the role of both proving and verifying key."""
+
+    def __init__(self, structure_hash, token):
+        self.structure_hash = structure_hash
+        self.token = token
+
+
+class SimulatedProof:
+    __slots__ = ("digest",)
+
+    def __init__(self, digest):
+        self.digest = digest
+
+
+def sim_setup(structure):
+    """'Trusted setup': bind a random token to the statement structure."""
+    return SimulatedKey(structure.structure_hash(), secrets.token_bytes(16))
+
+
+def _mac(key, public_inputs):
+    h = hashlib.sha256()
+    h.update(key.token)
+    h.update(key.structure_hash.encode())
+    for x in public_inputs:
+        h.update(b"%d," % x)
+    # pad to the real proof size so byte-level protocol code is exercised
+    digest = h.digest()
+    return (digest * 4)[:SIM_PROOF_SIZE]
+
+
+def sim_prove(key, system):
+    """Check satisfiability and emit the attestation."""
+    if system.structure_hash() != key.structure_hash:
+        raise ProvingError("simulated key does not match this statement")
+    system.check_satisfied()
+    return SimulatedProof(_mac(key, system.public_inputs()))
+
+
+def sim_verify(key, proof, public_inputs):
+    if proof.digest != _mac(key, public_inputs):
+        raise ProofError("simulated proof rejected")

@@ -1,0 +1,86 @@
+"""A constraint-friendly sponge hash for the scaled-down profile.
+
+The production NOPE statement pays ~25-30k constraints per SHA-256 block.
+To make the *whole* S_NOPE statement provable end-to-end with a pure-Python
+Groth16 prover, the ``toy`` profile swaps SHA-256 for this MiMC-style Feistel
+sponge over the BN254 scalar field.  Absorbing one 16-byte chunk costs about
+``3 * ROUNDS`` constraints, because each Feistel round is a single x^5
+evaluation (3 multiplications) and additions are free in R1CS.
+
+The native implementation here and the gadget in
+:mod:`repro.gadgets.toyhash` are kept bit-identical (the test suite checks
+them against each other on random inputs).
+
+This hash is NOT cryptographically vetted; it exists so the identical code
+paths (DS digests, RRSIG message hashing) are exercised at small scale.
+"""
+
+from ..ec.curves import BN254_R
+from .sha256 import sha256
+
+#: Field the sponge operates over (the R1CS field).
+FIELD_MODULUS = BN254_R
+
+#: Feistel rounds per permutation.
+ROUNDS = 40
+
+#: Bytes absorbed per permutation.
+RATE = 16
+
+#: Digest length in bytes.
+DIGEST_SIZE = 8
+
+
+def _derive_round_constants():
+    """Nothing-up-my-sleeve constants from SHA-256 of a domain tag."""
+    constants = []
+    for i in range(ROUNDS):
+        tag = b"nope-repro-toyhash-%d" % i
+        constants.append(int.from_bytes(sha256(tag), "big") % FIELD_MODULUS)
+    return constants
+
+
+ROUND_CONSTANTS = _derive_round_constants()
+
+
+def permute(s0, s1):
+    """The Feistel-MiMC permutation on a 2-element state.
+
+    Each round: (s0, s1) <- (s1 + (s0 + c_i)^5, s0).
+    """
+    p = FIELD_MODULUS
+    for c in ROUND_CONSTANTS:
+        t = (s0 + c) % p
+        t2 = t * t % p
+        t4 = t2 * t2 % p
+        s0, s1 = (s1 + t4 * t) % p, s0
+    return s0, s1
+
+
+def absorb_chunks(data):
+    """Split padded input into RATE-byte chunks as field elements."""
+    # 10* padding to a multiple of RATE, plus a length-bearing final chunk.
+    padded = data + b"\x80"
+    if len(padded) % RATE:
+        padded += b"\x00" * (RATE - len(padded) % RATE)
+    chunks = [
+        int.from_bytes(padded[i : i + RATE], "big")
+        for i in range(0, len(padded), RATE)
+    ]
+    chunks.append(len(data))
+    return chunks
+
+
+def toyhash(data, out_bytes=DIGEST_SIZE):
+    """Hash bytes to an ``out_bytes`` digest (default 8)."""
+    s0, s1 = 0, 1  # capacity initialized to 1 as a domain separator
+    for chunk in absorb_chunks(data):
+        s0 = (s0 + chunk) % FIELD_MODULUS
+        s0, s1 = permute(s0, s1)
+    mask = (1 << (8 * out_bytes)) - 1
+    return (s0 & mask).to_bytes(out_bytes, "big")
+
+
+def toyhash_int(data, out_bytes=DIGEST_SIZE):
+    """Digest as an integer (convenience for signature schemes)."""
+    return int.from_bytes(toyhash(data, out_bytes), "big")

@@ -1,0 +1,20 @@
+"""BN254 optimal ate pairing (the Groth16 back-end's bilinear map)."""
+
+from .ate import final_exponentiation, miller_loop, multi_miller, multi_pairing, pairing, pairing_check
+from .bn254 import ATE_LOOP_COUNT, B2, BN254_R, G2Point, G2_GENERATOR, embed_g1, untwist
+
+__all__ = [
+    "pairing",
+    "multi_pairing",
+    "pairing_check",
+    "miller_loop",
+    "multi_miller",
+    "final_exponentiation",
+    "G2Point",
+    "G2_GENERATOR",
+    "ATE_LOOP_COUNT",
+    "BN254_R",
+    "B2",
+    "embed_g1",
+    "untwist",
+]

@@ -1,0 +1,148 @@
+"""BN254 G2 arithmetic and curve constants.
+
+G2 is the r-order subgroup of the sextic twist E'/Fq2: ``y^2 = x^3 + 3/xi``
+with ``xi = 9 + u``.  Points are affine over Fq2 with operator-based group
+law; the Miller loop (in :mod:`repro.pairing.ate`) maps them into Fq12 via
+the untwist embedding ``(x, y) -> (x * w^2, y * w^3)``.
+"""
+
+from ..errors import CurveError
+from ..field.extension import BN254_P, Fq2, Fq6, Fq12, XI
+
+#: Order of G1 and G2 (the Groth16 scalar field).
+BN254_R = 21888242871839275222246405745257275088548364400416034343698204186575808495617
+
+#: 6t + 2 for the BN parameter t = 4965661367192848881.
+ATE_LOOP_COUNT = 29793968203157093288
+
+#: Twist curve coefficient b' = 3 / xi.
+B2 = XI.inverse() * 3
+
+
+class G2Point:
+    """Affine point on the BN254 sextic twist (or infinity: x is None)."""
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+    @staticmethod
+    def infinity():
+        return G2Point(None, None)
+
+    @property
+    def is_infinity(self):
+        return self.x is None
+
+    @staticmethod
+    def on_curve(x, y):
+        return y.square() == x.square() * x + B2
+
+    @classmethod
+    def make(cls, x, y):
+        if not cls.on_curve(x, y):
+            raise CurveError("point not on BN254 twist")
+        return cls(x, y)
+
+    def __eq__(self, other):
+        return isinstance(other, G2Point) and self.x == other.x and self.y == other.y
+
+    def __hash__(self):
+        return hash((self.x, self.y))
+
+    def __repr__(self):
+        if self.is_infinity:
+            return "G2Point(INF)"
+        return "G2Point(%r, %r)" % (self.x, self.y)
+
+    def __neg__(self):
+        if self.is_infinity:
+            return self
+        return G2Point(self.x, -self.y)
+
+    def __add__(self, other):
+        if self.is_infinity:
+            return other
+        if other.is_infinity:
+            return self
+        if self.x == other.x:
+            if self.y == -other.y:
+                return G2Point.infinity()
+            lam = (self.x.square() * 3) * (self.y + self.y).inverse()
+        else:
+            lam = (other.y - self.y) * (other.x - self.x).inverse()
+        x3 = lam.square() - self.x - other.x
+        y3 = lam * (self.x - x3) - self.y
+        return G2Point(x3, y3)
+
+    def __sub__(self, other):
+        return self + (-other)
+
+    def __rmul__(self, k):
+        if not isinstance(k, int):
+            return NotImplemented
+        # NOTE: the scalar is NOT reduced mod r here — subgroup membership
+        # checks multiply by r and rely on non-reduced semantics.
+        if k < 0:
+            return (-k) * (-self)
+        result = G2Point.infinity()
+        addend = self
+        while k:
+            if k & 1:
+                result = result + addend
+            addend = addend + addend
+            k >>= 1
+        return result
+
+    __mul__ = __rmul__
+
+    def double(self):
+        return self + self
+
+    def in_subgroup(self):
+        """Whether the point lies in the r-order subgroup."""
+        if self.is_infinity:
+            return True
+        return (BN254_R * self).is_infinity
+
+
+#: Standard G2 generator.
+G2_GENERATOR = G2Point.make(
+    Fq2(
+        10857046999023057135944570762232829481370756359578518086990519993285655852781,
+        11559732032986387107991004021392285783925812861821192530917403151452391805634,
+    ),
+    Fq2(
+        8495653923123431417604973247489272438418190587263600148770280649306958101930,
+        4082367875863433681332203403145435568316851327593401208105741076214120093531,
+    ),
+)
+
+# Fq12 constants for the untwist embedding.
+_W2 = Fq12(Fq6(Fq2.zero(), Fq2.one(), Fq2.zero()), Fq6.zero())  # w^2 = v
+_W3 = Fq12(Fq6.zero(), Fq6(Fq2.zero(), Fq2.one(), Fq2.zero()))  # w^3 = v*w
+
+
+def _embed_fq2(x):
+    return Fq12(Fq6(x, Fq2.zero(), Fq2.zero()), Fq6.zero())
+
+
+def embed_fq(x):
+    """Embed a base-field int into Fq12."""
+    return _embed_fq2(Fq2(x, 0))
+
+
+def untwist(pt):
+    """Map a G2 twist point into E(Fq12): (x, y) -> (x w^2, y w^3)."""
+    if pt.is_infinity:
+        return None
+    return (_embed_fq2(pt.x) * _W2, _embed_fq2(pt.y) * _W3)
+
+
+def embed_g1(pt):
+    """Map a BN254 G1 affine Point into E(Fq12) coordinates."""
+    if pt.is_infinity:
+        return None
+    return (embed_fq(pt.x), embed_fq(pt.y))

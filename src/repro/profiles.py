@@ -1,0 +1,121 @@
+"""Parameter profiles: production-scale vs fully-proven scaled-down.
+
+The paper's statement uses P-256 ECDSA, an RSA-2048 root ZSK, and SHA-256;
+proving it takes ~57 s in the authors' Rust prover and is far beyond a
+pure-Python Groth16 prover.  Per DESIGN.md's substitution table, this
+reproduction therefore carries two profiles through *identical code paths*:
+
+* ``PRODUCTION`` — the real algorithms.  Statements synthesize for exact
+  constraint counts (Fig. 6); proving cost is projected by the calibrated
+  model in :mod:`repro.costmodel`.
+* ``TOY``        — a 29-bit supersingular curve, RSA-96 root, and a
+  fixed-capacity sponge hash.  The complete pipeline (zone signing, chain
+  fetching, statement synthesis, Groth16 setup/prove/verify, certificate
+  embedding, client validation) runs end-to-end in minutes of pure Python.
+"""
+
+from .dns.dnssec import (
+    ALG_ECDSAP256SHA256,
+    ALG_RSASHA256,
+    ALG_TOY_ECDSA,
+    ALG_TOY_RSA,
+    DIGEST_SHA256,
+    DIGEST_TOYHASH,
+    TOY_DS_CAPACITY,
+    TOY_SIG_CAPACITY,
+)
+from .dns.name import DomainName
+from .dns.resolver import DnsHierarchy
+from .dns.zone import Zone
+from .ec import P256, TOY29
+from .gadgets.ecc import CurveConfig
+
+
+class Profile:
+    """Everything the statement builder and protocol need to agree on."""
+
+    def __init__(
+        self,
+        name,
+        zone_algorithm,
+        root_algorithm,
+        ds_digest_type,
+        curve,
+        limb_bits,
+        sig_hash_capacity,
+        ds_hash_capacity,
+        sha_rounds=64,
+        default_backend="groth16",
+    ):
+        self.name = name
+        self.zone_algorithm = zone_algorithm
+        self.root_algorithm = root_algorithm
+        self.ds_digest_type = ds_digest_type
+        self.curve = curve
+        self.curve_config = CurveConfig(curve, limb_bits)
+        self.sig_hash_capacity = sig_hash_capacity
+        self.ds_hash_capacity = ds_hash_capacity
+        self.sha_rounds = sha_rounds
+        self.default_backend = default_backend
+
+    def __repr__(self):
+        return "Profile(%s)" % self.name
+
+
+#: Fully-proven scaled profile (end-to-end Groth16 in pure Python).
+TOY = Profile(
+    name="toy",
+    zone_algorithm=ALG_TOY_ECDSA,
+    root_algorithm=ALG_TOY_RSA,
+    ds_digest_type=DIGEST_TOYHASH,
+    curve=TOY29,
+    limb_bits=32,
+    sig_hash_capacity=TOY_SIG_CAPACITY,
+    ds_hash_capacity=TOY_DS_CAPACITY,
+    default_backend="groth16",
+)
+
+#: Paper-scale parameters (statement synthesis + cost model; §8 setup).
+PRODUCTION = Profile(
+    name="production",
+    zone_algorithm=ALG_ECDSAP256SHA256,
+    root_algorithm=ALG_RSASHA256,
+    ds_digest_type=DIGEST_SHA256,
+    curve=P256,
+    limb_bits=32,
+    sig_hash_capacity=512,
+    ds_hash_capacity=128,
+    default_backend="simulation",
+)
+
+PROFILES = {p.name: p for p in (TOY, PRODUCTION)}
+
+
+def build_hierarchy(profile, domains, inception=1700000000, expiration=1800000000):
+    """Create a signed DNSSEC hierarchy covering every name in ``domains``.
+
+    Builds the root zone plus one zone per name component on each domain's
+    path (e.g. "example.com" yields zones ".", "com.", "example.com."),
+    all keyed per the profile and fully signed.
+    """
+    root = Zone.create(
+        DomainName.root(), profile.root_algorithm, profile.ds_digest_type
+    )
+    hierarchy = DnsHierarchy(root)
+    for domain in domains:
+        name = DomainName.parse(domain) if isinstance(domain, str) else domain
+        # create ancestors top-down
+        chain = []
+        probe = name
+        while not probe.is_root:
+            chain.append(probe)
+            probe = probe.parent()
+        for zone_name in reversed(chain):
+            if zone_name not in hierarchy.zones:
+                hierarchy.add_zone(
+                    Zone.create(
+                        zone_name, profile.zone_algorithm, profile.ds_digest_type
+                    )
+                )
+    hierarchy.sign_all(inception, expiration)
+    return hierarchy

@@ -1,0 +1,6 @@
+"""Rank-one constraint systems: the compilation target for NOPE statements."""
+
+from .lc import ONE_WIRE, LinearCombination
+from .system import ConstraintSystem
+
+__all__ = ["LinearCombination", "ConstraintSystem", "ONE_WIRE"]

@@ -1,0 +1,121 @@
+"""Linear combinations over R1CS wires.
+
+A rank-one constraint system restricts an assignment ``z`` by constraints
+``<A_i, z> * <B_i, z> = <C_i, z>``.  Each side is a *linear combination* of
+wires.  The central cost fact the paper exploits (§4.3) is that linear
+combinations are free: only the rank-one products count as constraints.
+This module's LinearCombination therefore supports +, -, and
+multiplication-by-constant at zero constraint cost; wire-by-wire products
+happen in :meth:`ConstraintSystem.enforce`.
+
+Wire 0 is the constant-one wire.
+"""
+
+from ..errors import SynthesisError
+
+ONE_WIRE = 0
+
+
+class LinearCombination:
+    """An immutable-by-convention sparse map wire -> coefficient."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms=None):
+        self.terms = dict(terms) if terms else {}
+
+    @staticmethod
+    def constant(value):
+        if value == 0:
+            return LinearCombination()
+        return LinearCombination({ONE_WIRE: value})
+
+    @staticmethod
+    def single(wire, coeff=1):
+        if coeff == 0:
+            return LinearCombination()
+        return LinearCombination({wire: coeff})
+
+    def is_constant(self):
+        return all(w == ONE_WIRE for w in self.terms)
+
+    def constant_value(self):
+        if not self.is_constant():
+            raise SynthesisError("LC is not constant")
+        return self.terms.get(ONE_WIRE, 0)
+
+    def _coerce(self, other):
+        if isinstance(other, LinearCombination):
+            return other
+        if isinstance(other, int):
+            return LinearCombination.constant(other)
+        return None
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        if other is None:
+            return NotImplemented
+        terms = dict(self.terms)
+        for wire, coeff in other.terms.items():
+            new = terms.get(wire, 0) + coeff
+            if new:
+                terms[wire] = new
+            else:
+                terms.pop(wire, None)
+        return LinearCombination(terms)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        if other is None:
+            return NotImplemented
+        return self + (other * -1)
+
+    def __rsub__(self, other):
+        other = self._coerce(other)
+        if other is None:
+            return NotImplemented
+        return other - self
+
+    def __mul__(self, scalar):
+        if not isinstance(scalar, int):
+            return NotImplemented
+        if scalar == 0:
+            return LinearCombination()
+        return LinearCombination(
+            {w: c * scalar for w, c in self.terms.items()}
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self * -1
+
+    def __len__(self):
+        return len(self.terms)
+
+    def __repr__(self):
+        if not self.terms:
+            return "LC(0)"
+        parts = []
+        for wire, coeff in sorted(self.terms.items()):
+            name = "1" if wire == ONE_WIRE else "w%d" % wire
+            parts.append("%d*%s" % (coeff, name))
+        return "LC(%s)" % " + ".join(parts)
+
+    def evaluate(self, values, modulus):
+        """Evaluate against an assignment vector."""
+        total = 0
+        for wire, coeff in self.terms.items():
+            total += coeff * values[wire]
+        return total % modulus
+
+    def reduced(self, modulus):
+        """Canonicalize coefficients into [0, modulus)."""
+        terms = {}
+        for wire, coeff in self.terms.items():
+            c = coeff % modulus
+            if c:
+                terms[wire] = c
+        return LinearCombination(terms)

@@ -1,0 +1,191 @@
+"""The rank-one constraint system (R1CS) builder.
+
+Synthesis and witness generation are combined, circom-style: gadgets always
+compute concrete values for the wires they allocate (from the values of the
+wires they consume), so a fully synthesized system carries a complete
+assignment.  The *structure* (which constraints exist) must be independent
+of the input values — gadgets never branch on values when deciding what to
+constrain — which the test suite verifies by hashing structures built from
+different inputs.
+
+Two modes:
+
+* full mode (default): constraints are recorded as (A, B, C) linear
+  combinations, the assignment can be checked, and the system can be handed
+  to the Groth16 back-end.
+* counting mode: constraints are only *counted*, not stored.  Witness values
+  still flow, so gadget logic is exercised identically.  This is how we get
+  exact constraint counts for production-scale statements (millions of
+  constraints) without building million-entry matrices in Python — the
+  count is exact because ``enforce`` is called exactly as in full mode.
+"""
+
+import hashlib
+
+from ..errors import SynthesisError, UnsatisfiedError
+from .lc import ONE_WIRE, LinearCombination
+
+
+class ConstraintSystem:
+    """A growable R1CS instance over a prime field, with assignment."""
+
+    def __init__(self, field, counting_only=False):
+        self.field = field
+        self.counting_only = counting_only
+        self.values = [1]  # wire 0 is the constant 1
+        self.labels = ["one"]
+        self.num_public = 0  # public wires occupy indices 1..num_public
+        self.constraints = []
+        self.constraint_count = 0
+        self._private_started = False
+        #: the constant-one wire as an LC, for convenience
+        self.one = LinearCombination.single(ONE_WIRE)
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc(self, value, label=None):
+        """Allocate a private (witness) wire with the given value."""
+        self._private_started = True
+        return self._alloc(value, label)
+
+    def alloc_public(self, value, label=None):
+        """Allocate a public-input wire.
+
+        All public wires must be allocated before any private wire so the
+        instance vector has the Groth16 layout [1, public..., private...].
+        """
+        if self._private_started:
+            raise SynthesisError(
+                "public inputs must be allocated before private wires"
+            )
+        lc = self._alloc(value, label)
+        self.num_public += 1
+        return lc
+
+    def _alloc(self, value, label):
+        wire = len(self.values)
+        self.values.append(value % self.field.p)
+        self.labels.append(label or "w%d" % wire)
+        return LinearCombination.single(wire)
+
+    def constant(self, value):
+        return LinearCombination.constant(value % self.field.p)
+
+    # -- constraints -----------------------------------------------------------
+
+    def enforce(self, a, b, c, label=None):
+        """Add the constraint <a,z> * <b,z> = <c,z>."""
+        a = self._as_lc(a)
+        b = self._as_lc(b)
+        c = self._as_lc(c)
+        self.constraint_count += 1
+        if not self.counting_only:
+            self.constraints.append((a, b, c, label))
+
+    def _as_lc(self, x):
+        if isinstance(x, LinearCombination):
+            return x
+        if isinstance(x, int):
+            return LinearCombination.constant(x % self.field.p)
+        raise SynthesisError("expected LinearCombination or int, got %r" % (x,))
+
+    def enforce_zero(self, lc, label=None):
+        """Constrain <lc, z> = 0 (one constraint)."""
+        self.enforce(lc, self.one, self.constant(0), label)
+
+    def enforce_equal(self, lhs, rhs, label=None):
+        """Constrain <lhs, z> = <rhs, z> (one constraint)."""
+        self.enforce_zero(self._as_lc(lhs) - self._as_lc(rhs), label)
+
+    def enforce_bool(self, lc, label=None):
+        """Constrain lc in {0, 1}."""
+        self.enforce(lc, self._as_lc(lc) - 1, self.constant(0), label)
+
+    def mul(self, a, b, label=None):
+        """Allocate and return the product wire of two LCs (1 constraint)."""
+        a = self._as_lc(a)
+        b = self._as_lc(b)
+        value = self.lc_value(a) * self.lc_value(b) % self.field.p
+        out = self.alloc(value, label)
+        self.enforce(a, b, out, label)
+        return out
+
+    def inverse(self, a, label=None):
+        """Allocate the inverse of a nonzero LC (1 constraint: a * inv = 1)."""
+        a = self._as_lc(a)
+        value = self.lc_value(a)
+        if value == 0:
+            raise SynthesisError("inverse of zero during synthesis")
+        out = self.alloc(self.field.inv(value), label)
+        self.enforce(a, out, self.one, label)
+        return out
+
+    # -- evaluation ------------------------------------------------------------
+
+    def lc_value(self, lc):
+        """Evaluate an LC (or int) against the current assignment."""
+        if isinstance(lc, int):
+            return lc % self.field.p
+        return lc.evaluate(self.values, self.field.p)
+
+    @property
+    def num_constraints(self):
+        return self.constraint_count
+
+    @property
+    def num_variables(self):
+        return len(self.values)
+
+    def is_satisfied(self):
+        try:
+            self.check_satisfied()
+            return True
+        except UnsatisfiedError:
+            return False
+
+    def check_satisfied(self):
+        """Raise UnsatisfiedError naming the first failing constraint."""
+        if self.counting_only:
+            raise SynthesisError("cannot check satisfaction in counting mode")
+        p = self.field.p
+        for i, (a, b, c, label) in enumerate(self.constraints):
+            av = a.evaluate(self.values, p)
+            bv = b.evaluate(self.values, p)
+            cv = c.evaluate(self.values, p)
+            if av * bv % p != cv:
+                raise UnsatisfiedError(
+                    "constraint %d (%s): %d * %d != %d"
+                    % (i, label or "unlabeled", av, bv, cv)
+                )
+
+    # -- export ------------------------------------------------------------------
+
+    def public_inputs(self):
+        """The public part of the assignment (excluding the one wire)."""
+        return list(self.values[1 : 1 + self.num_public])
+
+    def witness(self):
+        """The private part of the assignment."""
+        return list(self.values[1 + self.num_public :])
+
+    def full_assignment(self):
+        """The z vector: [1, public..., private...]."""
+        return list(self.values)
+
+    def structure_hash(self):
+        """Hash of the constraint structure (not the values).
+
+        Two synthesis runs with different inputs must produce the same hash;
+        this is the input-independence property Groth16 setup relies on.
+        """
+        if self.counting_only:
+            raise SynthesisError("no structure in counting mode")
+        h = hashlib.sha256()
+        h.update(b"%d,%d,%d;" % (self.num_variables, self.num_public, self.constraint_count))
+        for a, b, c, _ in self.constraints:
+            for lc in (a, b, c):
+                for wire, coeff in sorted(lc.terms.items()):
+                    h.update(b"%d:%d," % (wire, coeff % self.field.p))
+                h.update(b"|")
+            h.update(b";")
+        return h.hexdigest()

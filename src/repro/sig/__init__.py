@@ -1,0 +1,26 @@
+"""Digital signatures: ECDSA (with accelerated verify) and RSA PKCS#1 v1.5."""
+
+from .ecdsa import (
+    EcdsaPrivateKey,
+    EcdsaPublicKey,
+    bits2int,
+    rfc6979_nonce,
+    signature_from_bytes,
+    signature_to_bytes,
+)
+from .primes import generate_prime, is_probable_prime
+from .rsa import RsaPrivateKey, RsaPublicKey, emsa_pkcs1_v15
+
+__all__ = [
+    "EcdsaPrivateKey",
+    "EcdsaPublicKey",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "bits2int",
+    "rfc6979_nonce",
+    "signature_to_bytes",
+    "signature_from_bytes",
+    "emsa_pkcs1_v15",
+    "generate_prime",
+    "is_probable_prime",
+]

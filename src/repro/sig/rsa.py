@@ -1,0 +1,133 @@
+"""RSA signatures (PKCS#1 v1.5) for DNSSEC algorithm 8 (RSASHA256).
+
+The DNSSEC root zone signs with RSA (the paper's evaluation keeps the root
+ZSK on RSA and everything else on ECDSA), so the chain verification both
+natively and in-circuit needs RSA.  Key generation uses Miller-Rabin primes;
+signing is the textbook ``EM^d mod n`` with EMSA-PKCS1-v1_5 encoding.
+
+Two encodings are supported:
+
+* ``pkcs1v15-sha256`` — the real thing, with the SHA-256 DigestInfo DER
+  prefix (production profile, RSA-2048).
+* ``raw-toyhash``     — digest zero-padded to the modulus size, for the
+  scaled-down profile whose modulus is far too small to hold a DigestInfo.
+"""
+
+import secrets
+
+from ..errors import SignatureError
+from ..hashes.sha256 import sha256
+from ..hashes.toyhash import toyhash
+from .primes import generate_prime
+
+#: DER prefix of DigestInfo for SHA-256 (RFC 8017 §9.2 note 1).
+SHA256_DIGEST_INFO = bytes.fromhex("3031300d060960864801650304020105000420")
+
+
+def emsa_pkcs1_v15(digest, em_len):
+    """EMSA-PKCS1-v1_5 encoding of a SHA-256 digest."""
+    t = SHA256_DIGEST_INFO + digest
+    if em_len < len(t) + 11:
+        raise SignatureError("modulus too small for PKCS#1 v1.5 encoding")
+    ps = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + ps + b"\x00" + t
+
+
+def encode_message(data, em_len, scheme="pkcs1v15-sha256"):
+    """Hash and encode a message for signing under the given scheme."""
+    if scheme == "pkcs1v15-sha256":
+        return emsa_pkcs1_v15(sha256(data), em_len)
+    if scheme == "raw-toyhash":
+        digest = toyhash(data)
+        if em_len < len(digest) + 1:
+            raise SignatureError("modulus too small for raw toyhash encoding")
+        return b"\x00" * (em_len - len(digest)) + digest
+    if scheme == "raw-digest":
+        # data IS the digest (the caller hashed already, e.g. DNSSEC's
+        # fixed-capacity toy hash); zero-pad to the modulus length
+        if em_len < len(data) + 1:
+            raise SignatureError("modulus too small for raw digest encoding")
+        return b"\x00" * (em_len - len(data)) + data
+    raise SignatureError("unknown RSA encoding scheme %r" % scheme)
+
+
+class RsaPublicKey:
+    """An RSA verification key (n, e)."""
+
+    def __init__(self, n, e):
+        self.n = n
+        self.e = e
+
+    def __eq__(self, other):
+        return isinstance(other, RsaPublicKey) and (self.n, self.e) == (
+            other.n,
+            other.e,
+        )
+
+    def __repr__(self):
+        return "RsaPublicKey(%d bits)" % self.n.bit_length()
+
+    @property
+    def byte_length(self):
+        return (self.n.bit_length() + 7) // 8
+
+    def verify(self, data, signature, scheme="pkcs1v15-sha256"):
+        """Verify; raises SignatureError on failure."""
+        if len(signature) != self.byte_length:
+            raise SignatureError("bad RSA signature length")
+        s = int.from_bytes(signature, "big")
+        if s >= self.n:
+            raise SignatureError("signature out of range")
+        em = pow(s, self.e, self.n).to_bytes(self.byte_length, "big")
+        expected = encode_message(data, self.byte_length, scheme)
+        if em != expected:
+            raise SignatureError("RSA verification failed")
+
+
+class RsaPrivateKey:
+    """An RSA signing key with CRT components retained for fast signing."""
+
+    def __init__(self, n, e, d, p, q):
+        self.n = n
+        self.e = e
+        self.d = d
+        self.p = p
+        self.q = q
+        self.public_key = RsaPublicKey(n, e)
+
+    @classmethod
+    def generate(cls, bits=2048, e=65537):
+        """Generate a key with an n of exactly ``bits`` bits."""
+        while True:
+            p = generate_prime(bits // 2)
+            q = generate_prime(bits - bits // 2)
+            if p == q:
+                continue
+            n = p * q
+            if n.bit_length() != bits:
+                continue
+            phi = (p - 1) * (q - 1)
+            if phi % e == 0:
+                continue
+            d = pow(e, -1, phi)
+            return cls(n, e, d, p, q)
+
+    def __repr__(self):
+        return "RsaPrivateKey(%d bits)" % self.n.bit_length()
+
+    @property
+    def byte_length(self):
+        return self.public_key.byte_length
+
+    def sign(self, data, scheme="pkcs1v15-sha256"):
+        em = encode_message(data, self.byte_length, scheme)
+        m = int.from_bytes(em, "big")
+        # CRT speedup.
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        qinv = pow(self.q, -1, self.p)
+        m1 = pow(m % self.p, dp, self.p)
+        m2 = pow(m % self.q, dq, self.q)
+        h = qinv * (m1 - m2) % self.p
+        s = m2 + h * self.q
+        return s.to_bytes(self.byte_length, "big")

@@ -1,0 +1,31 @@
+"""Object identifiers used across the X.509 layer."""
+
+# name attributes
+OID_COMMON_NAME = "2.5.4.3"
+OID_ORGANIZATION = "2.5.4.10"
+OID_COUNTRY = "2.5.4.6"
+
+# public-key algorithms
+OID_EC_PUBLIC_KEY = "1.2.840.10045.2.1"
+OID_P256 = "1.2.840.10045.3.1.7"
+OID_RSA_ENCRYPTION = "1.2.840.113549.1.1.1"
+#: private-use arc for the reproduction's toy curve
+OID_TOY29 = "1.3.6.1.4.1.57264.29.1"
+
+# signature algorithms
+OID_ECDSA_SHA256 = "1.2.840.10045.4.3.2"
+OID_RSA_SHA256 = "1.2.840.113549.1.1.11"
+#: toy ECDSA over toy29 with the sponge hash
+OID_TOY_ECDSA_SIG = "1.3.6.1.4.1.57264.29.2"
+
+# extensions
+OID_EXT_SAN = "2.5.29.17"
+OID_EXT_BASIC_CONSTRAINTS = "2.5.29.19"
+OID_EXT_KEY_USAGE = "2.5.29.15"
+OID_EXT_AIA = "1.3.6.1.5.5.7.1.1"
+OID_AIA_OCSP = "1.3.6.1.5.5.7.48.1"
+OID_EXT_SCT_LIST = "1.3.6.1.4.1.11129.2.4.2"
+OID_EXT_CT_POISON = "1.3.6.1.4.1.11129.2.4.3"
+
+# PKCS#10
+OID_EXTENSION_REQUEST = "1.2.840.113549.1.9.14"

@@ -1,0 +1,138 @@
+"""NOPE proof <-> Subject Alternative Name encoding (paper Appendix D).
+
+The 128-byte proof is base-37 encoded into 197 hostname-safe characters
+(alphabet a-z, 0-9, '-'), extended with a version character, a metadata
+character, and a checksum character to 200 characters, split into four
+50-character labels, and attached under an ``n0pe.`` prefix:
+
+    n0pe.<a>.<b>.<c>.<d>.<domain>
+
+For long domains the labels are spread across multiple SANs whose prefixes
+count up (``n0pe.``, ``n1pe.``, ...) to fix the order.
+"""
+
+from ..errors import EncodingError
+
+ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789-"
+BASE = len(ALPHABET)  # 37
+_CHAR_INDEX = {c: i for i, c in enumerate(ALPHABET)}
+
+PROOF_BYTES = 128
+#: ceil(log_37(2^1024)) — matches the paper's 197
+PROOF_CHARS = 197
+#: version + metadata + checksum
+TOTAL_CHARS = PROOF_CHARS + 3
+LABEL_LEN = 50
+NUM_LABELS = TOTAL_CHARS // LABEL_LEN  # 4
+
+#: maximum total SAN length (RFC 1035 name limit, presented form)
+MAX_SAN_LENGTH = 253
+
+VERSION_CHAR = ALPHABET[0]  # version 0
+
+
+def _prefix(index):
+    return "n%dpe" % index
+
+
+def _checksum(chars):
+    return ALPHABET[sum(_CHAR_INDEX[c] for c in chars) % BASE]
+
+
+def encode_proof_chars(proof, metadata=0):
+    """Base-37 encode a 128-byte proof into the 200-character payload."""
+    if len(proof) != PROOF_BYTES:
+        raise EncodingError("proof must be %d bytes" % PROOF_BYTES)
+    value = int.from_bytes(proof, "big")
+    digits = []
+    for _ in range(PROOF_CHARS):
+        value, rem = divmod(value, BASE)
+        digits.append(ALPHABET[rem])
+    if value:
+        raise EncodingError("proof does not fit the base-37 budget")
+    body = VERSION_CHAR + ALPHABET[metadata % BASE] + "".join(reversed(digits))
+    return body + _checksum(body)
+
+
+def decode_proof_chars(chars):
+    """Inverse of :func:`encode_proof_chars`; returns (proof, metadata)."""
+    if len(chars) != TOTAL_CHARS:
+        raise EncodingError("expected %d payload characters" % TOTAL_CHARS)
+    body, check = chars[:-1], chars[-1]
+    for c in chars:
+        if c not in _CHAR_INDEX:
+            raise EncodingError("invalid base-37 character %r" % c)
+    if _checksum(body) != check:
+        raise EncodingError("NOPE SAN checksum mismatch")
+    if body[0] != VERSION_CHAR:
+        raise EncodingError("unsupported NOPE SAN version %r" % body[0])
+    metadata = _CHAR_INDEX[body[1]]
+    value = 0
+    for c in body[2:]:
+        value = value * BASE + _CHAR_INDEX[c]
+    if value.bit_length() > 8 * PROOF_BYTES:
+        raise EncodingError("decoded proof out of range")
+    return value.to_bytes(PROOF_BYTES, "big"), metadata
+
+
+def encode_proof_sans(proof, domain, metadata=0):
+    """Encode a proof as one or more SAN hostnames for ``domain``."""
+    domain = domain.rstrip(".")
+    payload = encode_proof_chars(proof, metadata)
+    labels = [
+        payload[i : i + LABEL_LEN] for i in range(0, TOTAL_CHARS, LABEL_LEN)
+    ]
+    # try to fit as many labels per SAN as the length budget allows
+    per_san = NUM_LABELS
+    while per_san >= 1:
+        san_len = (
+            len(_prefix(0)) + 1 + per_san * (LABEL_LEN + 1) + len(domain)
+        )
+        if san_len <= MAX_SAN_LENGTH:
+            break
+        per_san -= 1
+    if per_san < 1:
+        raise EncodingError("domain too long for NOPE SAN encoding")
+    sans = []
+    for i in range(0, NUM_LABELS, per_san):
+        chunk = labels[i : i + per_san]
+        sans.append(
+            ".".join([_prefix(len(sans))] + chunk + [domain])
+        )
+    return sans
+
+
+def is_nope_san(name):
+    label = name.split(".", 1)[0]
+    return (
+        len(label) == 4
+        and label[0] == "n"
+        and label[2:] == "pe"
+        and label[1].isdigit()
+    )
+
+
+def decode_proof_sans(san_names, domain):
+    """Extract the proof from a certificate's SAN list.
+
+    Returns (proof_bytes, metadata); raises EncodingError if no complete,
+    consistent NOPE encoding for ``domain`` is present.
+    """
+    domain = domain.rstrip(".")
+    suffix = "." + domain
+    pieces = {}
+    for name in san_names:
+        if not is_nope_san(name) or not name.endswith(suffix):
+            continue
+        order = int(name.split(".", 1)[0][1])
+        middle = name[: -len(suffix)].split(".")[1:]
+        pieces[order] = middle
+    if not pieces:
+        raise EncodingError("no NOPE SAN entries for %s" % domain)
+    labels = []
+    for order in range(len(pieces)):
+        if order not in pieces:
+            raise EncodingError("missing NOPE SAN fragment %d" % order)
+        labels.extend(pieces[order])
+    chars = "".join(labels)
+    return decode_proof_chars(chars)

@@ -1,0 +1,71 @@
+"""Legacy certificate-chain validation (Figure 2 step 10).
+
+What every client — NOPE-aware or not — runs first: signature chain to a
+trusted root, validity window, name match, basic-constraints sanity.
+"""
+
+from ..errors import CertificateError
+from . import oid as OID
+from .cert import parse_basic_constraints
+
+
+def hostname_matches(pattern, hostname):
+    """RFC 6125-style match with single-label wildcard support."""
+    pattern = pattern.lower().rstrip(".")
+    hostname = hostname.lower().rstrip(".")
+    if pattern == hostname:
+        return True
+    if pattern.startswith("*."):
+        rest = pattern[2:]
+        parts = hostname.split(".", 1)
+        return len(parts) == 2 and parts[1] == rest
+    return False
+
+
+def validate_chain(chain, trust_roots, hostname, now):
+    """Validate leaf -> intermediates -> trusted root.
+
+    ``chain``: [leaf, intermediate, ...] Certificates; ``trust_roots``:
+    Certificates the client pins.  Raises CertificateError with a reason,
+    returns the leaf on success.
+    """
+    if not chain:
+        raise CertificateError("empty certificate chain")
+    leaf = chain[0]
+    # name check against SAN (CN fallback intentionally not supported,
+    # matching modern browser behaviour)
+    sans = [n for n in leaf.san_names()]
+    if not any(hostname_matches(n, hostname) for n in sans):
+        raise CertificateError("no SAN matches %s" % hostname)
+    if leaf.is_precertificate():
+        raise CertificateError("precertificate presented as a certificate")
+    root_by_subject = {
+        tuple(root.subject.attributes): root for root in trust_roots
+    }
+    for i, cert in enumerate(chain):
+        if not (cert.not_before <= now <= cert.not_after):
+            raise CertificateError(
+                "certificate %d outside its validity window" % i
+            )
+        issuer_key = tuple(cert.issuer.attributes)
+        if i + 1 < len(chain):
+            issuer = chain[i + 1]
+            if tuple(issuer.subject.attributes) != issuer_key:
+                raise CertificateError("chain issuer/subject mismatch at %d" % i)
+            bc = issuer.extension(OID.OID_EXT_BASIC_CONSTRAINTS)
+            if bc is None or not parse_basic_constraints(bc.value):
+                raise CertificateError("issuer %d is not a CA" % (i + 1))
+            cert.verify_signature(issuer.spki.key)
+        else:
+            root = root_by_subject.get(issuer_key)
+            if root is None:
+                raise CertificateError("chain does not end at a trusted root")
+            if not (root.not_before <= now <= root.not_after):
+                raise CertificateError("trust root expired")
+            cert.verify_signature(root.spki.key)
+    return leaf
+
+
+def chain_wire_size(chain):
+    """Total DER bytes of a chain (Figure 4/7 bandwidth metric)."""
+    return sum(len(cert.to_der()) for cert in chain)

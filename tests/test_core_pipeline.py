@@ -1,0 +1,246 @@
+"""Integration tests: the full NOPE pipeline (Figure 2) and the client's
+rejection behaviour.  Uses the simulation backend for speed; the real
+Groth16 end-to-end run lives in test_end_to_end_groth16.py (slow)."""
+
+import pytest
+
+from repro.ca import AcmeServer, CertificationAuthority, CtLog, PlainDnsView
+from repro.clock import DAY, SimClock
+from repro.core import (
+    NopeClient,
+    NopeProver,
+    PinStore,
+    SCT_TOLERANCE,
+    run_legacy_acme,
+    truncate_timestamp,
+)
+from repro.ec import TOY29
+from repro.errors import AcmeError, CertificateError, ProofError, ProtocolError
+from repro.profiles import TOY, build_hierarchy
+from repro.sig import EcdsaPrivateKey
+from repro.x509.cert import SubjectPublicKeyInfo
+
+
+@pytest.fixture(scope="module")
+def world():
+    clock = SimClock()
+    hierarchy = build_hierarchy(
+        TOY,
+        ["example.com"],
+        inception=clock.now() - DAY,
+        expiration=clock.now() + 365 * DAY,
+    )
+    logs = [CtLog("log-a", clock), CtLog("log-b", clock)]
+    ca = CertificationAuthority("Repro Encrypt", clock, logs, TOY29)
+    acme = AcmeServer(ca, PlainDnsView(hierarchy), clock)
+    prover = NopeProver(TOY, hierarchy, "example.com", backend="simulation")
+    prover.trusted_setup()
+    return {
+        "clock": clock,
+        "hierarchy": hierarchy,
+        "logs": logs,
+        "ca": ca,
+        "acme": acme,
+        "prover": prover,
+    }
+
+
+def make_client(world, pins=()):
+    client = NopeClient(
+        TOY,
+        world["ca"].trust_anchors(),
+        root_zsk_dnskey=world["prover"].root_zsk_dnskey(),
+        backend=world["prover"].backend,
+        pin_store=PinStore(preloaded=pins),
+    )
+    client.register_statement(world["prover"].statement, world["prover"].keys)
+    return client
+
+
+@pytest.fixture(scope="module")
+def issued(world):
+    tls_key = EcdsaPrivateKey.generate(TOY29)
+    chain, timeline = world["prover"].obtain_certificate(
+        world["acme"], tls_key, world["clock"]
+    )
+    return {"tls_key": tls_key, "chain": chain, "timeline": timeline}
+
+
+class TestIssuance:
+    def test_certificate_issued_with_nope_sans(self, issued):
+        leaf = issued["chain"][0]
+        sans = leaf.san_names()
+        assert "example.com" in sans
+        assert any(s.startswith("n0pe.") for s in sans)
+
+    def test_timeline_has_all_steps(self, issued):
+        steps = issued["timeline"].as_dict()
+        assert set(steps) == {
+            "nope_proof_generation",
+            "acme_initiation",
+            "dns_propagation",
+            "acme_verification",
+        }
+        assert steps["dns_propagation"] == 30
+
+    def test_certificate_has_scts(self, issued):
+        from repro.x509 import oid
+
+        assert issued["chain"][0].extension(oid.OID_EXT_SCT_LIST) is not None
+
+    def test_ca_never_sees_the_proof_plaintext(self, world, issued):
+        # the CA stored the certificate; nothing in the CA knows the witness
+        leaf = issued["chain"][0]
+        assert leaf.serial in world["ca"].issued
+
+    def test_legacy_acme_baseline(self, world):
+        zone = world["hierarchy"].zones[
+            __import__("repro.dns.name", fromlist=["DomainName"]).DomainName.parse(
+                "example.com"
+            )
+        ]
+        key = EcdsaPrivateKey.generate(TOY29)
+        chain, timeline = run_legacy_acme(
+            world["acme"], zone, "example.com", key, world["clock"]
+        )
+        assert chain[0].san_names() == ["example.com"]
+        assert "nope_proof_generation" not in timeline.as_dict()
+
+    def test_acme_rejects_out_of_domain_san(self, world):
+        key = EcdsaPrivateKey.generate(TOY29)
+        order = world["acme"].new_order("example.com")
+        from repro.ca.acme import respond_to_challenge
+        from repro.x509.csr import CertificateRequest
+
+        zone = world["prover"].zone
+        respond_to_challenge(zone, order, world["acme"])
+        zone.sign(world["clock"].now(), world["clock"].now() + DAY)
+        world["acme"].validate(order.order_id)
+        csr = CertificateRequest.build(
+            "example.com", key.public_key, ["example.com", "evil.org"]
+        ).sign(key)
+        with pytest.raises(AcmeError, match="outside"):
+            world["acme"].finalize(order.order_id, csr)
+
+    def test_acme_unvalidated_order_rejected(self, world):
+        key = EcdsaPrivateKey.generate(TOY29)
+        order = world["acme"].new_order("example.com")
+        from repro.x509.csr import CertificateRequest
+
+        csr = CertificateRequest.build(
+            "example.com", key.public_key, ["example.com"]
+        ).sign(key)
+        with pytest.raises(AcmeError, match="not validated"):
+            world["acme"].finalize(order.order_id, csr)
+
+
+class TestClientVerification:
+    def test_nope_aware_client_accepts(self, world, issued):
+        client = make_client(world)
+        report = client.verify_server(
+            "example.com",
+            issued["chain"],
+            world["clock"].now(),
+            ocsp_responder=world["ca"].ocsp,
+        )
+        assert report.nope_checked and report.nope_ok
+
+    def test_legacy_client_accepts_without_nope(self, world, issued):
+        client = NopeClient(TOY, world["ca"].trust_anchors(), nope_aware=False)
+        report = client.verify_server(
+            "example.com", issued["chain"], world["clock"].now()
+        )
+        assert not report.nope_checked
+
+    def test_tls_key_substitution_rejected(self, world, issued):
+        import copy
+
+        client = make_client(world)
+        chain = [copy.deepcopy(issued["chain"][0]), issued["chain"][1]]
+        chain[0].spki = SubjectPublicKeyInfo(
+            EcdsaPrivateKey.generate(TOY29).public_key
+        )
+        chain[0].sign(world["ca"].intermediate_key)
+        with pytest.raises(ProofError):
+            client.verify_server("example.com", chain, world["clock"].now())
+
+    def test_pinned_domain_rejects_plain_certificate(self, world):
+        client = make_client(world, pins=["example.com"])
+        key = EcdsaPrivateKey.generate(TOY29)
+        chain = world["ca"].issue(
+            "example.com",
+            SubjectPublicKeyInfo(key.public_key),
+            ["example.com"],
+        )
+        with pytest.raises(ProofError, match="pinned"):
+            client.verify_server("example.com", chain, world["clock"].now())
+
+    def test_unpinned_domain_accepts_plain_certificate(self, world):
+        client = make_client(world)
+        key = EcdsaPrivateKey.generate(TOY29)
+        chain = world["ca"].issue(
+            "other.com", SubjectPublicKeyInfo(key.public_key), ["other.com"]
+        )
+        report = client.verify_server("other.com", chain, world["clock"].now())
+        assert not report.nope_ok
+
+    def test_tofu_pins_after_first_nope(self, world, issued):
+        client = make_client(world)
+        client.verify_server(
+            "example.com", issued["chain"], world["clock"].now()
+        )
+        assert client.pin_store.is_required("example.com", world["clock"].now())
+
+    def test_revoked_certificate_rejected(self, world, issued):
+        client = make_client(world)
+        world["ca"].revoke(issued["chain"][0].serial)
+        with pytest.raises(CertificateError, match="revoked"):
+            client.verify_server(
+                "example.com",
+                issued["chain"],
+                world["clock"].now(),
+                ocsp_responder=world["ca"].ocsp,
+            )
+        # undo for other tests
+        world["ca"].ocsp.revoked.pop(issued["chain"][0].serial)
+
+    def test_backdated_certificate_caught_by_sct_check(self, world):
+        """A compromised CA backdating a cert to reuse a proof is caught by
+        SCT-timestamp consistency (§3.2)."""
+        world["ca"].compromised = True
+        try:
+            prover = world["prover"]
+            key = EcdsaPrivateKey.generate(TOY29)
+            tls_bytes = SubjectPublicKeyInfo(key.public_key).raw_key_bytes()
+            backdate = world["clock"].now() - 30 * DAY
+            proof, ts = prover.generate_proof(
+                tls_bytes, world["ca"].org_name, ts=backdate
+            )
+            csr = prover.build_csr(key, proof)
+            chain = world["ca"].issue_rogue(
+                "example.com",
+                csr.spki,
+                csr.san_names(),
+                not_before=backdate,
+            )
+            client = make_client(world)
+            with pytest.raises(ProofError, match="SCT|backdated"):
+                client.verify_server(
+                    "example.com", chain, world["clock"].now()
+                )
+        finally:
+            world["ca"].compromised = False
+
+    def test_honest_ca_refuses_backdating(self, world):
+        with pytest.raises(ProtocolError):
+            world["ca"].issue(
+                "example.com",
+                SubjectPublicKeyInfo(EcdsaPrivateKey.generate(TOY29).public_key),
+                ["example.com"],
+                not_before=world["clock"].now() - DAY,
+            )
+
+    def test_truncate_timestamp(self):
+        assert truncate_timestamp(1000000007) % 300 == 0
+        assert truncate_timestamp(1000000007) <= 1000000007
+        assert SCT_TOLERANCE >= 300

@@ -1,0 +1,149 @@
+"""Consistency proofs and SCT auditing (RFC 6962 §2.1.2; paper §3.3).
+
+The paper notes SCT auditing as the fallback when a CT attacker issues
+SCTs without logging — "web browsers do not do so by default today".
+These tests exercise the whole mechanism: append-only consistency between
+tree snapshots, and a client catching a withholding log.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ca import AcmeServer, CertificationAuthority, CtLog, MerkleTree, PlainDnsView
+from repro.clock import DAY, SimClock
+from repro.core import NopeClient, NopeProver, PinStore
+from repro.ec import TOY29
+from repro.errors import ProofError, VerificationError
+from repro.profiles import TOY, build_hierarchy
+from repro.sig import EcdsaPrivateKey
+
+
+class TestConsistencyProofs:
+    def make_tree(self, n):
+        tree = MerkleTree()
+        for i in range(n):
+            tree.append(b"leaf-%d" % i)
+        return tree
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_consistency_roundtrip(self, old_size, extra):
+        new_size = old_size + extra
+        tree = self.make_tree(new_size)
+        proof = tree.consistency_proof(old_size, new_size)
+        MerkleTree.verify_consistency(
+            old_size, new_size, tree.root(old_size), tree.root(new_size), proof
+        )
+
+    def test_tampered_root_rejected(self):
+        tree = self.make_tree(9)
+        proof = tree.consistency_proof(4)
+        with pytest.raises(VerificationError):
+            MerkleTree.verify_consistency(
+                4, 9, b"\x00" * 32, tree.root(), proof
+            )
+
+    def test_non_prefix_rejected(self):
+        # two trees that diverge: the old root is NOT a prefix of the new
+        tree_a = self.make_tree(4)
+        tree_b = MerkleTree()
+        for i in range(8):
+            tree_b.append(b"other-%d" % i)
+        proof = tree_b.consistency_proof(4)
+        with pytest.raises(VerificationError):
+            MerkleTree.verify_consistency(
+                4, 8, tree_a.root(4), tree_b.root(), proof
+            )
+
+    def test_trivial_cases(self):
+        tree = self.make_tree(5)
+        MerkleTree.verify_consistency(5, 5, tree.root(), tree.root(), [])
+        with pytest.raises(VerificationError):
+            MerkleTree.verify_consistency(5, 5, tree.root(), b"x" * 32, [])
+
+    def test_truncated_proof_rejected(self):
+        tree = self.make_tree(11)
+        proof = tree.consistency_proof(5)
+        with pytest.raises(VerificationError):
+            MerkleTree.verify_consistency(
+                5, 11, tree.root(5), tree.root(), proof[:-1]
+            )
+        with pytest.raises(VerificationError):
+            MerkleTree.verify_consistency(
+                5, 11, tree.root(5), tree.root(), proof + [b"\x11" * 32]
+            )
+
+
+@pytest.fixture(scope="module")
+def audit_world():
+    clock = SimClock()
+    hierarchy = build_hierarchy(
+        TOY, ["audited.example"],
+        inception=clock.now() - DAY, expiration=clock.now() + 365 * DAY,
+    )
+    logs = [CtLog("honest", clock), CtLog("shady", clock)]
+    ca = CertificationAuthority("Repro Encrypt", clock, logs, TOY29)
+    acme = AcmeServer(ca, PlainDnsView(hierarchy), clock)
+    prover = NopeProver(TOY, hierarchy, "audited.example", backend="simulation")
+    prover.trusted_setup()
+    client = NopeClient(
+        TOY,
+        ca.trust_anchors(),
+        root_zsk_dnskey=prover.root_zsk_dnskey(),
+        backend=prover.backend,
+        pin_store=PinStore(),
+    )
+    client.register_statement(prover.statement, prover.keys)
+    return {
+        "clock": clock, "logs": logs, "ca": ca, "acme": acme,
+        "prover": prover, "client": client,
+    }
+
+
+class TestSctAuditing:
+    def test_honest_logs_pass_audit(self, audit_world):
+        w = audit_world
+        key = EcdsaPrivateKey.generate(TOY29)
+        chain, _ = w["prover"].obtain_certificate(w["acme"], key, w["clock"])
+        w["clock"].advance(DAY + 1)
+        w["client"].audit_scts(chain[0], w["logs"])
+
+    def test_audit_before_mmd_defers(self, audit_world):
+        w = audit_world
+        key = EcdsaPrivateKey.generate(TOY29)
+        chain, _ = w["prover"].obtain_certificate(w["acme"], key, w["clock"])
+        with pytest.raises(ProofError, match="MMD"):
+            w["client"].audit_scts(chain[0], w["logs"])
+        w["clock"].advance(DAY + 1)  # restore for other tests
+
+    def test_withholding_log_caught(self, audit_world):
+        w = audit_world
+        for log in w["logs"]:
+            log.compromised = True
+            log.withhold_entries = True
+        try:
+            key = EcdsaPrivateKey.generate(TOY29)
+            chain, _ = w["prover"].obtain_certificate(w["acme"], key, w["clock"])
+            # the SCTs verify, so connection-time checks pass...
+            report = w["client"].verify_server(
+                "audited.example", chain, w["clock"].now()
+            )
+            assert report.nope_ok
+            # ...but auditing after the MMD exposes the withholding log
+            w["clock"].advance(DAY + 1)
+            with pytest.raises(ProofError, match="never merged"):
+                w["client"].audit_scts(chain[0], w["logs"])
+        finally:
+            for log in w["logs"]:
+                log.compromised = False
+                log.withhold_entries = False
+
+    def test_unknown_log_rejected(self, audit_world):
+        w = audit_world
+        key = EcdsaPrivateKey.generate(TOY29)
+        chain, _ = w["prover"].obtain_certificate(w["acme"], key, w["clock"])
+        w["clock"].advance(DAY + 1)
+        other = CtLog("stranger", w["clock"])
+        with pytest.raises(ProofError, match="unknown log"):
+            w["client"].audit_scts(chain[0], [other])

@@ -1,0 +1,335 @@
+"""Tests for the DNS/DNSSEC substrate: names, records, RRsets, signing,
+zones, hierarchy, chain building and validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns import (
+    ALG_TOY_ECDSA,
+    ALG_TOY_RSA,
+    DIGEST_TOYHASH,
+    DnskeyData,
+    DnssecKey,
+    DomainName,
+    DsData,
+    ResourceRecord,
+    RrsigData,
+    RRset,
+    TxtData,
+    TYPE_DNSKEY,
+    TYPE_DS,
+    TYPE_TXT,
+    Zone,
+    ds_digest,
+    make_ds,
+    sign_rrset,
+    validate_chain,
+    verify_rrset,
+    verify_rrsig,
+)
+from repro.errors import DnssecError, EncodingError
+from repro.profiles import TOY, build_hierarchy
+
+
+class TestDomainName:
+    def test_parse_and_str(self):
+        n = DomainName.parse("Example.COM.")
+        assert str(n) == "example.com."
+        assert n.labels == (b"example", b"com")
+
+    def test_root(self):
+        root = DomainName.root()
+        assert root.is_root
+        assert str(root) == "."
+        assert root.to_wire() == b"\x00"
+
+    def test_parent_child(self):
+        n = DomainName.parse("a.b.c")
+        assert str(n.parent()) == "b.c."
+        assert str(n.parent().child("x")) == "x.b.c."
+        with pytest.raises(EncodingError):
+            DomainName.root().parent()
+
+    def test_subdomain(self):
+        a = DomainName.parse("www.example.com")
+        b = DomainName.parse("example.com")
+        assert a.is_subdomain_of(b)
+        assert not b.is_subdomain_of(a)
+        assert a.is_subdomain_of(DomainName.root())
+        assert a.is_subdomain_of(a)
+
+    def test_wire_roundtrip(self):
+        n = DomainName.parse("foo.bar.example")
+        wire = n.to_wire()
+        parsed, offset = DomainName.from_wire(wire)
+        assert parsed == n
+        assert offset == len(wire)
+
+    def test_wire_format(self):
+        n = DomainName.parse("ab.c")
+        assert n.to_wire() == b"\x02ab\x01c\x00"
+
+    def test_label_too_long(self):
+        with pytest.raises(EncodingError):
+            DomainName((b"a" * 64,))
+
+    def test_truncated_wire(self):
+        with pytest.raises(EncodingError):
+            DomainName.from_wire(b"\x05ab")
+
+    def test_canonical_ordering(self):
+        # RFC 4034 §6.1: compare label-reversed
+        a = DomainName.parse("a.example")
+        z = DomainName.parse("z.example")
+        other = DomainName.parse("a.zzz")
+        assert a < z
+        assert a < other  # "example" < "zzz" at the top label
+
+    @given(st.lists(st.sampled_from(["a", "bb", "ccc", "x9-y"]), min_size=0, max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_wire_roundtrip_property(self, labels):
+        n = DomainName(tuple(l.encode() for l in labels))
+        parsed, _ = DomainName.from_wire(n.to_wire())
+        assert parsed == n
+
+
+class TestRecords:
+    def test_rr_wire_roundtrip(self):
+        rr = ResourceRecord(DomainName.parse("example.com"), TYPE_TXT, 300, b"\x03abc")
+        parsed, offset = ResourceRecord.from_wire(rr.to_wire())
+        assert parsed == rr
+        assert offset == len(rr.to_wire())
+
+    def test_dnskey_roundtrip_and_flags(self):
+        key = DnskeyData(257, ALG_TOY_ECDSA, b"\x01" * 8)
+        parsed = DnskeyData.from_bytes(key.to_bytes())
+        assert parsed.flags == 257
+        assert parsed.is_ksk and not parsed.is_zsk
+        zsk = DnskeyData(256, ALG_TOY_ECDSA, b"\x02" * 8)
+        assert zsk.is_zsk and not zsk.is_ksk
+
+    def test_key_tag_is_stable(self):
+        key = DnskeyData(257, ALG_TOY_ECDSA, bytes(range(8)))
+        assert key.key_tag() == DnskeyData.from_bytes(key.to_bytes()).key_tag()
+
+    def test_ds_roundtrip(self):
+        ds = DsData(12345, ALG_TOY_ECDSA, DIGEST_TOYHASH, b"\xaa" * 8)
+        parsed = DsData.from_bytes(ds.to_bytes())
+        assert (parsed.key_tag, parsed.algorithm, parsed.digest_type) == (
+            12345,
+            ALG_TOY_ECDSA,
+            DIGEST_TOYHASH,
+        )
+        assert parsed.digest == b"\xaa" * 8
+
+    def test_rrsig_roundtrip(self):
+        sig = RrsigData(
+            TYPE_TXT, ALG_TOY_ECDSA, 2, 3600, 2000, 1000, 4242,
+            DomainName.parse("example.com"), b"\x99" * 8,
+        )
+        parsed = RrsigData.from_bytes(sig.to_bytes())
+        assert parsed.type_covered == TYPE_TXT
+        assert parsed.signer_name == sig.signer_name
+        assert parsed.signature == sig.signature
+        assert parsed.prefix_bytes() == sig.prefix_bytes()
+
+    def test_txt_roundtrip(self):
+        txt = TxtData(["hello", b"world"])
+        parsed = TxtData.from_bytes(txt.to_bytes())
+        assert parsed.strings == [b"hello", b"world"]
+
+    def test_txt_too_long(self):
+        with pytest.raises(EncodingError):
+            TxtData(["x" * 256])
+
+    def test_truncated_rdata(self):
+        with pytest.raises(EncodingError):
+            DnskeyData.from_bytes(b"\x01")
+        with pytest.raises(EncodingError):
+            DsData.from_bytes(b"\x01\x02")
+        with pytest.raises(EncodingError):
+            RrsigData.from_bytes(b"\x00" * 10)
+
+
+class TestRRset:
+    def test_canonical_ordering(self):
+        name = DomainName.parse("example.com")
+        rrset = RRset(name, TYPE_TXT, 300, [b"\x02bb", b"\x01a"])
+        assert rrset.sorted_rdatas() == [b"\x01a", b"\x02bb"]
+
+    def test_from_records_rejects_mixed(self):
+        a = ResourceRecord(DomainName.parse("a.com"), TYPE_TXT, 1, b"x")
+        b = ResourceRecord(DomainName.parse("b.com"), TYPE_TXT, 1, b"y")
+        with pytest.raises(DnssecError):
+            RRset.from_records([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DnssecError):
+            RRset(DomainName.parse("a.com"), TYPE_TXT, 1, [])
+
+    def test_signed_data_uses_original_ttl(self):
+        name = DomainName.parse("example.com")
+        rrset = RRset(name, TYPE_TXT, 300, [b"\x01a"])
+        sig = RrsigData(TYPE_TXT, ALG_TOY_ECDSA, 2, 7200, 2, 1, 0, DomainName.root(), b"")
+        data = rrset.signed_data(sig)
+        assert (7200).to_bytes(4, "big") in data
+
+
+TOY_KSK = DnssecKey.generate(ALG_TOY_ECDSA, is_ksk=True)
+TOY_ZSK = DnssecKey.generate(ALG_TOY_ECDSA, is_ksk=False)
+
+
+class TestSigning:
+    def make_txt_rrset(self):
+        name = DomainName.parse("example.com")
+        return RRset(name, TYPE_TXT, 300, [TxtData(["v=1"]).to_bytes()])
+
+    def test_sign_and_verify(self):
+        rrset = self.make_txt_rrset()
+        sign_rrset(rrset, DomainName.parse("example.com"), TOY_ZSK, 100, 200)
+        verify_rrsig(rrset, rrset.rrsigs[0], TOY_ZSK.dnskey(), now=150)
+
+    def test_wrong_key_rejected(self):
+        rrset = self.make_txt_rrset()
+        sign_rrset(rrset, DomainName.parse("example.com"), TOY_ZSK, 100, 200)
+        other = DnssecKey.generate(ALG_TOY_ECDSA, is_ksk=False)
+        with pytest.raises(DnssecError):
+            verify_rrsig(rrset, rrset.rrsigs[0], other.dnskey(), now=150)
+
+    def test_expired_rejected(self):
+        rrset = self.make_txt_rrset()
+        sign_rrset(rrset, DomainName.parse("example.com"), TOY_ZSK, 100, 200)
+        with pytest.raises(DnssecError):
+            verify_rrsig(rrset, rrset.rrsigs[0], TOY_ZSK.dnskey(), now=300)
+
+    def test_tampered_record_rejected(self):
+        rrset = self.make_txt_rrset()
+        sign_rrset(rrset, DomainName.parse("example.com"), TOY_ZSK, 100, 200)
+        rrset.rdatas[0] = TxtData(["v=2"]).to_bytes()
+        with pytest.raises(DnssecError):
+            verify_rrsig(rrset, rrset.rrsigs[0], TOY_ZSK.dnskey(), now=150)
+
+    def test_rsa_algorithm(self):
+        rsa_key = DnssecKey.generate(ALG_TOY_RSA, is_ksk=False)
+        rrset = self.make_txt_rrset()
+        sign_rrset(rrset, DomainName.parse("example.com"), rsa_key, 100, 200)
+        verify_rrsig(rrset, rrset.rrsigs[0], rsa_key.dnskey(), now=150)
+
+    def test_verify_rrset_tries_all_keys(self):
+        rrset = self.make_txt_rrset()
+        sign_rrset(rrset, DomainName.parse("example.com"), TOY_ZSK, 100, 200)
+        rrsig, key = verify_rrset(
+            rrset, [TOY_KSK.dnskey(), TOY_ZSK.dnskey()], now=150
+        )
+        assert key.key_tag() == TOY_ZSK.key_tag()
+
+    def test_ds_digest_binds_name_and_key(self):
+        name = DomainName.parse("example.com")
+        d1 = ds_digest(name, TOY_KSK.dnskey(), DIGEST_TOYHASH)
+        d2 = ds_digest(DomainName.parse("other.com"), TOY_KSK.dnskey(), DIGEST_TOYHASH)
+        assert d1 != d2
+        ds = make_ds(name, TOY_KSK.dnskey(), DIGEST_TOYHASH)
+        assert ds.digest == d1
+        assert ds.key_tag == TOY_KSK.key_tag()
+
+
+class TestZoneAndHierarchy:
+    @pytest.fixture(scope="class")
+    def hierarchy(self):
+        return build_hierarchy(TOY, ["example.com"])
+
+    def test_zones_created(self, hierarchy):
+        assert str(hierarchy.root.name) == "."
+        assert DomainName.parse("com") in hierarchy.zones
+        assert DomainName.parse("example.com") in hierarchy.zones
+
+    def test_dnskey_rrset_signed_by_ksk(self, hierarchy):
+        com = hierarchy.zones[DomainName.parse("com")]
+        rrset = com.dnskey_rrset()
+        ksk = [k for k in com.dnskey_datas() if k.is_ksk]
+        verify_rrset(rrset, ksk)
+
+    def test_ds_signed_by_parent_zsk(self, hierarchy):
+        root = hierarchy.root
+        ds_rrset = root.get("com", TYPE_DS)
+        zsk = [k for k in root.dnskey_datas() if k.is_zsk]
+        verify_rrset(ds_rrset, zsk)
+
+    def test_lookup_ds_goes_to_parent(self, hierarchy):
+        rrset = hierarchy.lookup("example.com", TYPE_DS)
+        assert rrset.name == DomainName.parse("example.com")
+        # the DS lives in .com's zone
+        com = hierarchy.zones[DomainName.parse("com")]
+        assert (rrset.name, TYPE_DS) in com.rrsets
+
+    def test_fetch_chain_structure(self, hierarchy):
+        chain = hierarchy.fetch_chain("example.com")
+        assert chain.root_ds_rrset.name == DomainName.parse("com")
+        assert len(chain.links) == 1
+        assert chain.links[0].zone_name == DomainName.parse("com")
+        assert chain.links[0].child_ds_rrset.name == DomainName.parse("example.com")
+
+    def test_chain_validates(self, hierarchy):
+        chain = hierarchy.fetch_chain("example.com", for_dce=True)
+        root_zsk = next(k for k in hierarchy.root.dnskey_datas() if k.is_zsk)
+        validate_chain(chain, root_zsk)
+
+    def test_chain_rejects_wrong_anchor(self, hierarchy):
+        chain = hierarchy.fetch_chain("example.com")
+        wrong = DnssecKey.generate(ALG_TOY_RSA, is_ksk=False).dnskey()
+        with pytest.raises(DnssecError):
+            validate_chain(chain, wrong)
+
+    def test_chain_rejects_tampered_ds(self, hierarchy):
+        chain = hierarchy.fetch_chain("example.com")
+        root_zsk = next(k for k in hierarchy.root.dnskey_datas() if k.is_zsk)
+        original = chain.links[0].child_ds_rrset.rdatas[0]
+        chain.links[0].child_ds_rrset.rdatas[0] = original[:-1] + bytes(
+            [original[-1] ^ 1]
+        )
+        with pytest.raises(DnssecError):
+            validate_chain(chain, root_zsk)
+        chain.links[0].child_ds_rrset.rdatas[0] = original
+
+    def test_tlsa_publication_and_dce_chain(self, hierarchy):
+        tls_key = b"\x42" * 8
+        hierarchy.publish_tlsa("example.com", tls_key)
+        hierarchy.sign_all(1700000000, 1800000000)
+        chain = hierarchy.fetch_chain("example.com", for_dce=True)
+        assert chain.tlsa_rrset is not None
+        root_zsk = next(k for k in hierarchy.root.dnskey_datas() if k.is_zsk)
+        validate_chain(chain, root_zsk, expected_tls_key=tls_key)
+        with pytest.raises(DnssecError):
+            validate_chain(chain, root_zsk, expected_tls_key=b"\x00" * 8)
+
+    def test_chain_wire_size_positive(self, hierarchy):
+        chain = hierarchy.fetch_chain("example.com", for_dce=True)
+        assert chain.wire_size() > 200
+
+    def test_zone_txt_add_remove(self, hierarchy):
+        zone = hierarchy.zones[DomainName.parse("example.com")]
+        zone.add_txt("_acme-challenge.example.com", ["token123"])
+        zone.sign(1, 2)
+        rrset = zone.get("_acme-challenge.example.com", TYPE_TXT)
+        assert rrset.rrsigs
+        zone.remove_txt("_acme-challenge.example.com")
+        with pytest.raises(DnssecError):
+            zone.get("_acme-challenge.example.com", TYPE_TXT)
+
+    def test_key_roll_breaks_until_resign(self):
+        h = build_hierarchy(TOY, ["foo.org"])
+        zone = h.zones[DomainName.parse("org")]
+        zone.roll_zsk()
+        zone.sign(1700000000, 1800000000)
+        # the DS for foo.org is now signed by the new ZSK; chain still valid
+        chain = h.fetch_chain("foo.org")
+        root_zsk = next(k for k in h.root.dnskey_datas() if k.is_zsk)
+        validate_chain(chain, root_zsk)
+
+    def test_deep_chain(self):
+        h = build_hierarchy(TOY, ["a.b.c.example"])
+        chain = h.fetch_chain("a.b.c.example")
+        assert len(chain.links) == 3
+        root_zsk = next(k for k in h.root.dnskey_datas() if k.is_zsk)
+        validate_chain(chain, root_zsk)

@@ -1,0 +1,275 @@
+"""Tests for big-integer constraint arithmetic (paper §5.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.curves import BN254_R, P256, TOY61
+from repro.errors import SynthesisError
+from repro.field import PrimeField
+from repro.gadgets.bigint import LimbInt, naive_mod_reduce
+from repro.r1cs import ConstraintSystem
+
+FR = PrimeField(BN254_R)
+Q256 = P256.field.p
+QTOY = TOY61.field.p
+
+
+def make_cs():
+    return ConstraintSystem(FR)
+
+
+class TestConstruction:
+    def test_alloc_roundtrip(self):
+        cs = make_cs()
+        x = LimbInt.alloc(cs, 0x123456789ABCDEF0, 32, 4)
+        assert x.int_value() == 0x123456789ABCDEF0
+        cs.check_satisfied()
+
+    def test_alloc_too_big_raises(self):
+        cs = make_cs()
+        with pytest.raises(SynthesisError):
+            LimbInt.alloc(cs, 1 << 64, 32, 2)
+
+    def test_from_const(self):
+        cs = make_cs()
+        x = LimbInt.from_const(cs, 987654321, 32)
+        assert x.int_value() == 987654321
+        assert cs.num_constraints == 0  # constants are free
+
+    def test_from_bytes_be(self):
+        cs = make_cs()
+        data = bytes.fromhex("0102030405060708090a")
+        byte_lcs = [cs.alloc(b) for b in data]
+        x = LimbInt.from_bytes_be(cs, byte_lcs, list(data), 32)
+        assert x.int_value() == int.from_bytes(data, "big")
+
+    def test_from_bytes_needs_byte_multiple_limbs(self):
+        cs = make_cs()
+        with pytest.raises(SynthesisError):
+            LimbInt.from_bytes_be(cs, [], [], 33)
+
+
+class TestArithmetic:
+    @given(
+        a=st.integers(min_value=0, max_value=(1 << 128) - 1),
+        b=st.integers(min_value=0, max_value=(1 << 128) - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_add_sub_mul_values(self, a, b):
+        cs = make_cs()
+        xa = LimbInt.alloc(cs, a, 32, 4)
+        xb = LimbInt.alloc(cs, b, 32, 4)
+        assert (xa + xb).int_value() == a + b
+        assert (xa - xb).int_value() == a - b
+        prod = xa.mul(cs, xb)
+        assert prod.int_value() == a * b
+        cs.check_satisfied()
+
+    def test_mul_cost_is_limb_pairs(self):
+        cs = make_cs()
+        xa = LimbInt.alloc(cs, 123, 32, 4)
+        xb = LimbInt.alloc(cs, 456, 32, 4)
+        before = cs.num_constraints
+        xa.mul(cs, xb)
+        assert cs.num_constraints - before == 16
+
+    def test_mul_const_is_free(self):
+        cs = make_cs()
+        xa = LimbInt.alloc(cs, 1234567, 32, 4)
+        before = cs.num_constraints
+        out = xa.mul_const_bigint(cs, Q256)
+        assert cs.num_constraints == before
+        assert out.int_value() == 1234567 * Q256
+
+    def test_scaled_negative(self):
+        cs = make_cs()
+        xa = LimbInt.alloc(cs, 100, 32, 2)
+        assert xa.scaled(-3).int_value() == -300
+
+    def test_shifted_limbs(self):
+        cs = make_cs()
+        xa = LimbInt.alloc(cs, 5, 32, 1)
+        assert xa.shifted_limbs(2).int_value() == 5 << 64
+
+    def test_margin_overflow_detected(self):
+        cs = make_cs()
+        # 128-bit bounds squared twice exceeds the 254-bit field margin
+        xa = LimbInt.alloc(cs, (1 << 64) - 1, 64, 2)
+        sq = xa.mul(cs, xa)
+        with pytest.raises(SynthesisError):
+            sq.mul(cs, sq)
+
+
+class TestMatrixMReduction:
+    @given(st.integers(min_value=0, max_value=(1 << 512) - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_preserves_value_mod_q(self, v):
+        cs = make_cs()
+        x = LimbInt.alloc(cs, v, 32, 16)
+        before = cs.num_constraints
+        reduced = x.reduce_mod(cs, Q256)
+        # zero constraints: reduction is linear combinations only
+        assert cs.num_constraints == before
+        assert reduced.num_limbs == 8
+        assert reduced.int_value() % Q256 == v % Q256
+
+    def test_idempotent_when_small(self):
+        cs = make_cs()
+        x = LimbInt.alloc(cs, 12345, 32, 4)
+        assert x.reduce_mod(cs, Q256) is x
+
+    def test_worked_example_from_paper(self):
+        # Paper §5.1: b=10, q=89, x = 51277 -> x*M has value 280 = 51277 mod-89-equal
+        # We reproduce with base 2^8 for limb compatibility: the semantics,
+        # not the exact numbers, are what matters: val differs, mval equal.
+        cs = make_cs()
+        v = 51277
+        x = LimbInt.alloc(cs, v, 8, 5)
+        reduced = x.reduce_mod(cs, 89)
+        assert reduced.int_value() != v  # "val" differs...
+        assert reduced.int_value() % 89 == v % 89  # ..."mval" preserved
+
+
+class TestEqualityChecks:
+    @given(st.integers(min_value=0, max_value=(1 << 200) - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_assert_equal_int_accepts(self, v):
+        cs = make_cs()
+        a = LimbInt.alloc(cs, v, 32, 7)
+        b = LimbInt.alloc(cs, v, 32, 7)
+        a.assert_equal_int(cs, b)
+        cs.check_satisfied()
+
+    def test_assert_equal_int_rejects_at_synthesis(self):
+        cs = make_cs()
+        a = LimbInt.alloc(cs, 5, 32, 2)
+        b = LimbInt.alloc(cs, 6, 32, 2)
+        with pytest.raises(SynthesisError):
+            a.assert_equal_int(cs, b)
+
+    def test_assert_equal_int_sound_against_tampering(self):
+        # equality between a redundant form and fresh limbs, then tamper
+        cs = make_cs()
+        a = LimbInt.alloc(cs, 99, 32, 2)
+        b = LimbInt.alloc(cs, 100, 32, 2)
+        c = a + b  # redundant-ish sum
+        d = LimbInt.alloc(cs, 199, 32, 2)
+        c.assert_equal_int(cs, d)
+        cs.check_satisfied()
+        # tamper with d's low limb witness
+        wire = next(iter(d.limbs[0].terms))
+        cs.values[wire] = 198
+        assert not cs.is_satisfied()
+
+    @given(
+        v=st.integers(min_value=0, max_value=(1 << 500) - 1),
+        w=st.integers(min_value=0, max_value=(1 << 250) - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_assert_zero_mod(self, v, w):
+        cs = make_cs()
+        # build x = v - (v mod q) + ... guaranteed divisible: use v*q - stuff
+        x = LimbInt.alloc(cs, v, 32, 16)
+        r = v % Q256
+        rr = LimbInt.alloc(cs, r, 32, 8)
+        (x - rr).assert_zero_mod(cs, Q256)
+        cs.check_satisfied()
+
+    def test_assert_zero_mod_rejects_nondivisible(self):
+        cs = make_cs()
+        x = LimbInt.alloc(cs, Q256 + 1, 32, 9)
+        with pytest.raises(SynthesisError):
+            x.assert_zero_mod(cs, Q256)
+
+    def test_single_limb_fast_path(self):
+        cs = make_cs()
+        x = LimbInt.alloc(cs, 12345 * QTOY, 64, 2)
+        # collapse to 1 limb via reduce... instead build single-limb directly
+        cs2 = make_cs()
+        a = LimbInt.alloc(cs2, QTOY - 1, 64, 1)
+        b = LimbInt.alloc(cs2, QTOY - 1, 64, 1)
+        prod = a.mul(cs2, b)
+        assert prod.num_limbs == 1
+        before = cs2.num_constraints
+        (prod - prod).assert_zero_mod(cs2, QTOY)
+        fast_cost = cs2.num_constraints - before
+        cs2.check_satisfied()
+        # k's range check is sized by the static bounds (~2^128 / q = 2^67),
+        # so the whole check costs ~70 — versus hundreds on the limb path.
+        assert fast_cost < 80
+
+    def test_single_limb_modeq_nontrivial(self):
+        cs = make_cs()
+        a = LimbInt.alloc(cs, QTOY - 2, 64, 1)
+        b = LimbInt.alloc(cs, QTOY - 3, 64, 1)
+        prod = a.mul(cs, b)
+        want = (QTOY - 2) * (QTOY - 3) % QTOY
+        w = LimbInt.alloc(cs, want, 64, 1)
+        prod.assert_equal_mod(cs, w, QTOY)
+        cs.check_satisfied()
+
+    def test_single_limb_modeq_sound(self):
+        cs = make_cs()
+        a = LimbInt.alloc(cs, 1000, 64, 1)
+        b = LimbInt.alloc(cs, 1000 + QTOY, 64, 2)
+        a.assert_equal_mod(cs, b.reduce_mod(cs, QTOY), QTOY)
+        cs.check_satisfied()
+        wire = next(iter(a.limbs[0].terms))
+        cs.values[wire] = 1001
+        assert not cs.is_satisfied()
+
+
+class TestNormalize:
+    @given(st.integers(min_value=0, max_value=(1 << 400) - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_normalize_mod(self, v):
+        cs = make_cs()
+        x = LimbInt.alloc(cs, v, 32, 13)
+        norm = x.normalize(cs, Q256)
+        assert norm.int_value() == v % Q256
+        assert norm.num_limbs == 8
+        cs.check_satisfied()
+
+    def test_normalize_with_lt_check(self):
+        cs = make_cs()
+        x = LimbInt.alloc(cs, Q256 + 5, 32, 9)
+        norm = x.normalize(cs, Q256, assert_lt_modulus=True)
+        assert norm.int_value() == 5
+        cs.check_satisfied()
+
+    def test_naive_mod_reduce_is_expensive(self):
+        """The pre-NOPE baseline pays per-operation; matrix-M is free."""
+        cs1 = make_cs()
+        x1 = LimbInt.alloc(cs1, 123456789, 32, 16)
+        before1 = cs1.num_constraints
+        x1.reduce_mod(cs1, Q256)
+        nope_cost = cs1.num_constraints - before1
+
+        cs2 = make_cs()
+        x2 = LimbInt.alloc(cs2, 123456789, 32, 16)
+        before2 = cs2.num_constraints
+        naive_mod_reduce(cs2, x2, Q256)
+        naive_cost = cs2.num_constraints - before2
+
+        assert nope_cost == 0
+        assert naive_cost > 256  # scales with bits of q
+
+    def test_assert_lt_const(self):
+        cs = make_cs()
+        x = LimbInt.alloc(cs, Q256 - 1, 32, 8)
+        x.assert_lt_const(cs, Q256)
+        cs.check_satisfied()
+
+    def test_assert_lt_const_rejects(self):
+        cs = make_cs()
+        x = LimbInt.alloc(cs, Q256, 32, 8)
+        with pytest.raises(SynthesisError):
+            x.assert_lt_const(cs, Q256)
+
+    def test_assert_lt_requires_canonical(self):
+        cs = make_cs()
+        x = LimbInt.alloc(cs, 5, 32, 2)
+        y = x + x  # bounds exceed canonical
+        with pytest.raises(SynthesisError):
+            y.assert_lt_const(cs, 100)

@@ -1,0 +1,181 @@
+"""Tests for the bit-level gadget building blocks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.curves import BN254_R
+from repro.errors import SynthesisError
+from repro.field import PrimeField
+from repro.gadgets.bits import (
+    alloc_bytes,
+    assert_in_range,
+    assert_lt,
+    bit_decompose,
+    bits_to_lc,
+    geq_const,
+    is_equal,
+    is_zero,
+    lt_const,
+    map_nonzero_to_zero,
+    pack_bytes_be,
+    select,
+    select_many,
+)
+from repro.r1cs import ConstraintSystem
+
+FR = PrimeField(BN254_R)
+
+
+def make_cs():
+    return ConstraintSystem(FR)
+
+
+class TestBitDecompose:
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip(self, v):
+        cs = make_cs()
+        x = cs.alloc(v)
+        bits = bit_decompose(cs, x, 8)
+        cs.check_satisfied()
+        assert cs.lc_value(bits_to_lc(bits)) == v
+        assert [cs.lc_value(b) for b in bits] == [(v >> i) & 1 for i in range(8)]
+
+    def test_cost(self):
+        cs = make_cs()
+        bit_decompose(cs, cs.alloc(5), 8)
+        assert cs.num_constraints == 9  # 8 bits + recompose
+
+    def test_overflow_raises(self):
+        cs = make_cs()
+        with pytest.raises(SynthesisError):
+            bit_decompose(cs, cs.alloc(256), 8)
+
+    def test_range_check(self):
+        cs = make_cs()
+        assert_in_range(cs, cs.alloc(255), 8)
+        cs.check_satisfied()
+
+
+class TestZeroTests:
+    def test_is_zero_true(self):
+        cs = make_cs()
+        out = is_zero(cs, cs.alloc(0))
+        assert cs.lc_value(out) == 1
+        cs.check_satisfied()
+
+    def test_is_zero_false(self):
+        cs = make_cs()
+        out = is_zero(cs, cs.alloc(77))
+        assert cs.lc_value(out) == 0
+        cs.check_satisfied()
+
+    def test_is_zero_cost(self):
+        cs = make_cs()
+        is_zero(cs, cs.alloc(5))
+        assert cs.num_constraints == 2
+
+    def test_is_zero_soundness(self):
+        # a prover cannot claim nonzero input is zero
+        cs = make_cs()
+        x = cs.alloc(5)
+        out = is_zero(cs, x)
+        # tamper with the witness: find the out wire and flip it
+        out_wire = next(iter(out.terms))
+        cs.values[out_wire] = 1
+        assert not cs.is_satisfied()
+
+    def test_is_equal(self):
+        cs = make_cs()
+        assert cs.lc_value(is_equal(cs, cs.alloc(4), cs.alloc(4))) == 1
+        assert cs.lc_value(is_equal(cs, cs.alloc(4), cs.alloc(5))) == 0
+        cs.check_satisfied()
+
+    def test_map_nonzero_to_zero(self):
+        cs = make_cs()
+        z_nonzero = map_nonzero_to_zero(cs, cs.alloc(9))
+        z_zero = map_nonzero_to_zero(cs, cs.alloc(0))
+        assert cs.lc_value(z_nonzero) == 0
+        assert cs.lc_value(z_zero) == 1
+        cs.check_satisfied()
+        assert cs.num_constraints == 2  # one each
+
+    def test_map_nonzero_soundness(self):
+        cs = make_cs()
+        x = cs.alloc(3)
+        z = map_nonzero_to_zero(cs, x)
+        z_wire = next(iter(z.terms))
+        cs.values[z_wire] = 1  # malicious: claim x == 0
+        assert not cs.is_satisfied()
+
+
+class TestSelect:
+    def test_select_true(self):
+        cs = make_cs()
+        out = select(cs, cs.alloc(1), cs.alloc(10), cs.alloc(20))
+        assert cs.lc_value(out) == 10
+        cs.check_satisfied()
+
+    def test_select_false(self):
+        cs = make_cs()
+        out = select(cs, cs.alloc(0), cs.alloc(10), cs.alloc(20))
+        assert cs.lc_value(out) == 20
+        cs.check_satisfied()
+
+    def test_select_cost(self):
+        cs = make_cs()
+        select(cs, cs.alloc(1), cs.alloc(10), cs.alloc(20))
+        assert cs.num_constraints == 1
+
+    def test_select_many(self):
+        cs = make_cs()
+        flag = cs.alloc(1)
+        a = [cs.alloc(v) for v in (1, 2, 3)]
+        b = [cs.alloc(v) for v in (4, 5, 6)]
+        out = select_many(cs, flag, a, b)
+        assert [cs.lc_value(o) for o in out] == [1, 2, 3]
+        cs.check_satisfied()
+
+    def test_select_many_length_mismatch(self):
+        cs = make_cs()
+        with pytest.raises(SynthesisError):
+            select_many(cs, cs.alloc(1), [cs.alloc(1)], [])
+
+
+class TestComparisons:
+    @given(st.integers(min_value=0, max_value=63), st.integers(min_value=0, max_value=63))
+    @settings(max_examples=25, deadline=None)
+    def test_geq_lt_const(self, v, c):
+        cs = make_cs()
+        x = cs.alloc(v)
+        geq = geq_const(cs, x, c, 6)
+        lt = lt_const(cs, x, c, 6)
+        cs.check_satisfied()
+        assert cs.lc_value(geq) == (1 if v >= c else 0)
+        assert cs.lc_value(lt) == (1 if v < c else 0)
+
+    def test_assert_lt_holds(self):
+        cs = make_cs()
+        assert_lt(cs, cs.alloc(3), cs.alloc(10), 8)
+        cs.check_satisfied()
+
+    def test_assert_lt_fails_on_equal(self):
+        cs = make_cs()
+        with pytest.raises(SynthesisError):
+            # 10 - 10 - 1 is negative -> wraps to huge field element
+            assert_lt(cs, cs.alloc(10), cs.alloc(10), 8)
+
+
+class TestBytes:
+    def test_alloc_bytes(self):
+        cs = make_cs()
+        lcs = alloc_bytes(cs, b"\x01\x02\xff")
+        assert [cs.lc_value(x) for x in lcs] == [1, 2, 255]
+        cs.check_satisfied()
+
+    def test_pack_bytes_be(self):
+        cs = make_cs()
+        lcs = alloc_bytes(cs, b"\x12\x34\x56", range_check=False)
+        packed = pack_bytes_be(lcs)
+        assert cs.lc_value(packed) == 0x123456

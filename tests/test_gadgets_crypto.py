@@ -1,0 +1,367 @@
+"""Tests for the cryptographic gadgets: EC points, ECDSA, RSA, hashes."""
+
+import hashlib
+
+import pytest
+
+from repro.ec import P256, TOY29
+from repro.ec.curves import BN254_R
+from repro.errors import SynthesisError
+from repro.field import PrimeField
+from repro.gadgets.bigint import LimbInt
+from repro.gadgets.bits import alloc_bytes, bit_decompose
+from repro.gadgets.ecc import (
+    CurveConfig,
+    alloc_point,
+    assert_on_curve,
+    const_point,
+    fixed_base_mul,
+    msm_straus,
+    point_add,
+    point_add_classic,
+    point_double,
+    point_double_classic,
+    select_point,
+)
+from repro.gadgets.ecdsa import verify_ecdsa
+from repro.gadgets.rsa import verify_rsa_pkcs1
+from repro.gadgets.sha256 import sha256_gadget, sha256_var_gadget
+from repro.gadgets.toyhash import toyhash_gadget, toyhash_padded
+from repro.r1cs import ConstraintSystem
+from repro.sig import EcdsaPrivateKey, RsaPrivateKey
+
+FR = PrimeField(BN254_R)
+TOY_CFG = CurveConfig(TOY29, 32)
+P256_CFG = CurveConfig(P256, 32)
+
+
+def make_cs():
+    return ConstraintSystem(FR)
+
+
+class TestPointOps:
+    @pytest.mark.parametrize("cfg", [TOY_CFG, P256_CFG], ids=lambda c: c.curve.name)
+    def test_alloc_point_on_curve(self, cfg):
+        cs = make_cs()
+        alloc_point(cs, cfg, 5 * cfg.curve.generator)
+        cs.check_satisfied()
+
+    def test_off_curve_point_rejected(self):
+        cs = make_cs()
+        g = TOY29.generator
+        pt = alloc_point(cs, TOY_CFG, g, on_curve=False)
+        # tamper x limb
+        wire = next(iter(pt.x.limbs[0].terms))
+        cs.values[wire] = (cs.values[wire] + 1) % FR.p
+        cs2 = make_cs()
+        # rebuild with the on-curve check and ensure the tampered witness fails
+        pt2 = alloc_point(cs2, TOY_CFG, g, on_curve=True)
+        wire2 = next(iter(pt2.x.limbs[0].terms))
+        cs2.values[wire2] = (cs2.values[wire2] + 1) % FR.p
+        assert not cs2.is_satisfied()
+
+    @pytest.mark.parametrize("cfg", [TOY_CFG, P256_CFG], ids=lambda c: c.curve.name)
+    def test_point_add(self, cfg):
+        cs = make_cs()
+        g = cfg.curve.generator
+        p1 = alloc_point(cs, cfg, 3 * g)
+        p2 = alloc_point(cs, cfg, 5 * g)
+        r = point_add(cs, cfg, p1, p2)
+        assert r.point == 8 * g
+        cs.check_satisfied()
+
+    def test_point_add_rejects_wrong_result(self):
+        cs = make_cs()
+        g = TOY29.generator
+        p1 = alloc_point(cs, TOY_CFG, 3 * g)
+        p2 = alloc_point(cs, TOY_CFG, 5 * g)
+        r = point_add(cs, TOY_CFG, p1, p2)
+        cs.check_satisfied()
+        # substitute another on-curve point for R: collinearity must fail
+        other = 9 * g
+        xw = next(iter(r.x.limbs[0].terms))
+        yw = next(iter(r.y.limbs[0].terms))
+        cs.values[xw] = other.x % FR.p
+        cs.values[yw] = other.y % FR.p
+        assert not cs.is_satisfied()
+
+    def test_point_add_exceptional_raises(self):
+        cs = make_cs()
+        g = TOY29.generator
+        p1 = alloc_point(cs, TOY_CFG, g)
+        p2 = alloc_point(cs, TOY_CFG, -g, label="p2")
+        with pytest.raises(SynthesisError):
+            point_add(cs, TOY_CFG, p1, p2)
+
+    def test_point_double(self):
+        cs = make_cs()
+        g = TOY29.generator
+        p1 = alloc_point(cs, TOY_CFG, 7 * g)
+        r = point_double(cs, TOY_CFG, p1)
+        assert r.point == 14 * g
+        cs.check_satisfied()
+
+    def test_classic_ops_match_nope(self):
+        g = TOY29.generator
+        cs = make_cs()
+        p1 = alloc_point(cs, TOY_CFG, 3 * g)
+        p2 = alloc_point(cs, TOY_CFG, 4 * g, label="p2")
+        r1 = point_add(cs, TOY_CFG, p1, p2)
+        r2 = point_add_classic(cs, TOY_CFG, p1, p2)
+        d1 = point_double(cs, TOY_CFG, p1)
+        d2 = point_double_classic(cs, TOY_CFG, p1)
+        cs.check_satisfied()
+        assert r1.point == r2.point == 7 * g
+        assert d1.point == d2.point == 6 * g
+
+    def test_nope_add_cheaper_than_classic_p256(self):
+        g = P256.generator
+        cs1 = make_cs()
+        a = alloc_point(cs1, P256_CFG, 3 * g)
+        b = alloc_point(cs1, P256_CFG, 4 * g, label="b")
+        before = cs1.num_constraints
+        point_add(cs1, P256_CFG, a, b, check_distinct=False)
+        nope_cost = cs1.num_constraints - before
+
+        cs2 = make_cs()
+        a2 = alloc_point(cs2, P256_CFG, 3 * g)
+        b2 = alloc_point(cs2, P256_CFG, 4 * g, label="b")
+        before = cs2.num_constraints
+        point_add_classic(cs2, P256_CFG, a2, b2)
+        classic_cost = cs2.num_constraints - before
+        assert nope_cost < classic_cost
+
+    def test_select_point(self):
+        cs = make_cs()
+        g = TOY29.generator
+        a = alloc_point(cs, TOY_CFG, 2 * g)
+        b = alloc_point(cs, TOY_CFG, 3 * g, label="b")
+        flag = cs.alloc(1)
+        sel = select_point(cs, TOY_CFG, flag, a, b)
+        assert sel.point == 2 * g
+        cs.check_satisfied()
+
+    def test_fixed_base_mul(self):
+        cs = make_cs()
+        k = 123456
+        k_wire = cs.alloc(k)
+        bits = bit_decompose(cs, k_wire, 28)
+        result = fixed_base_mul(cs, TOY_CFG, bits, TOY29.generator)
+        assert result.point == k * TOY29.generator
+        cs.check_satisfied()
+
+    def test_msm_straus(self):
+        cs = make_cs()
+        g = TOY29.generator
+        p = alloc_point(cs, TOY_CFG, 7 * g)
+        k1_wire = cs.alloc(13)
+        k1_bits = bit_decompose(cs, k1_wire, 8)
+        k2_wire = cs.alloc(5)
+        k2_bits = bit_decompose(cs, k2_wire, 8)
+        g_var = const_point(cs, TOY_CFG, g)
+        result = msm_straus(cs, TOY_CFG, [k1_bits, k2_bits], [g_var, p])
+        assert result.point == (13 + 35) * g
+        cs.check_satisfied()
+
+    def test_msm_straus_assert_zero(self):
+        cs = make_cs()
+        g = TOY29.generator
+        p = alloc_point(cs, TOY_CFG, 7 * g)
+        neg = alloc_point(cs, TOY_CFG, -(21 * g), label="neg")
+        k1_wire = cs.alloc(1)
+        k1_bits = bit_decompose(cs, k1_wire, 8)
+        k3_wire = cs.alloc(3)
+        k3_bits = bit_decompose(cs, k3_wire, 8)
+        # 3 * (7g) + 1 * (-21g) = O
+        assert (
+            msm_straus(
+                cs,
+                TOY_CFG,
+                [k3_bits, k1_bits],
+                [p, neg],
+                assert_zero=True,
+            )
+            is None
+        )
+        cs.check_satisfied()
+
+
+TOY_KEY = EcdsaPrivateKey.generate(TOY29)
+
+
+def setup_ecdsa_circuit(cs, cfg, key, msg_hash_int, sig, technique):
+    pub = alloc_point(cs, cfg, key.public_key.point, "pub")
+    h = LimbInt.alloc(cs, msg_hash_int, cfg.limb_bits, cfg.scalar_limbs, "h")
+    r = LimbInt.alloc(cs, sig[0], cfg.limb_bits, cfg.scalar_limbs, "r")
+    s = LimbInt.alloc(cs, sig[1], cfg.limb_bits, cfg.scalar_limbs, "s")
+    verify_ecdsa(cs, cfg, pub, h, r, s, technique=technique)
+
+
+class TestEcdsaGadget:
+    @pytest.mark.parametrize("technique", ["nope", "baseline"])
+    def test_valid_signature_accepted(self, technique):
+        h = b"\x12\x34\x56\x78" * 2
+        sig = TOY_KEY.sign(h)
+        from repro.sig.ecdsa import bits2int
+
+        cs = make_cs()
+        setup_ecdsa_circuit(
+            cs, TOY_CFG, TOY_KEY, bits2int(h, TOY29.order), sig, technique
+        )
+        cs.check_satisfied()
+
+    def test_invalid_signature_rejected_at_synthesis(self):
+        h = b"\x12\x34\x56\x78" * 2
+        r, s = TOY_KEY.sign(h)
+        from repro.sig.ecdsa import bits2int
+
+        cs = make_cs()
+        with pytest.raises(SynthesisError):
+            setup_ecdsa_circuit(
+                cs,
+                TOY_CFG,
+                TOY_KEY,
+                bits2int(h, TOY29.order),
+                (r, (s + 1) % TOY29.order),
+                "nope",
+            )
+
+    def test_nope_cheaper_than_baseline(self):
+        h = b"\xaa\xbb\xcc\xdd" * 2
+        sig = TOY_KEY.sign(h)
+        from repro.sig.ecdsa import bits2int
+
+        hv = bits2int(h, TOY29.order)
+        cs1 = make_cs()
+        setup_ecdsa_circuit(cs1, TOY_CFG, TOY_KEY, hv, sig, "nope")
+        cs2 = make_cs()
+        setup_ecdsa_circuit(cs2, TOY_CFG, TOY_KEY, hv, sig, "baseline")
+        assert cs1.num_constraints < cs2.num_constraints
+
+    def test_witness_tamper_detected(self):
+        h = b"\x01\x02\x03\x04" * 2
+        sig = TOY_KEY.sign(h)
+        from repro.sig.ecdsa import bits2int
+
+        cs = make_cs()
+        setup_ecdsa_circuit(cs, TOY_CFG, TOY_KEY, bits2int(h, TOY29.order), sig, "nope")
+        cs.check_satisfied()
+        # flip the sign bit of the decomposition
+        wire = cs.labels.index("ecdsa.sign")
+        cs.values[wire] = 1 - cs.values[wire]
+        assert not cs.is_satisfied()
+
+
+class TestRsaGadget:
+    def test_toy_rsa_accepted(self):
+        key = RsaPrivateKey.generate(bits=96)
+        data = b"toy rsa message"
+        digest = toyhash_padded(data, 48)
+        sig = key.sign(digest, scheme="raw-digest")
+        cs = make_cs()
+        s_li = LimbInt.alloc(cs, int.from_bytes(sig, "big"), 32, 3, "sig")
+        # digest enters as witness bytes here (statement computes it in-circuit)
+        digest_pairs = [(cs.alloc(b), b) for b in digest]
+        prefix = b"\x00" * ((key.n.bit_length() + 7) // 8 - len(digest))
+        verify_rsa_pkcs1(cs, s_li, key.n, digest_pairs, prefix, 32)
+        cs.check_satisfied()
+
+    def test_wrong_digest_rejected(self):
+        key = RsaPrivateKey.generate(bits=96)
+        sig = key.sign(toyhash_padded(b"message one", 48), scheme="raw-digest")
+        cs = make_cs()
+        s_li = LimbInt.alloc(cs, int.from_bytes(sig, "big"), 32, 3, "sig")
+        digest = toyhash_padded(b"message two", 48)
+        digest_pairs = [(cs.alloc(b), b) for b in digest]
+        prefix = b"\x00" * ((key.n.bit_length() + 7) // 8 - len(digest))
+        with pytest.raises(SynthesisError):
+            verify_rsa_pkcs1(cs, s_li, key.n, digest_pairs, prefix, 32)
+
+    def test_naive_variant_more_expensive(self):
+        key = RsaPrivateKey.generate(bits=96)
+        data = b"cost comparison"
+        digest = toyhash_padded(data, 48)
+        sig = key.sign(digest, scheme="raw-digest")
+        prefix = b"\x00" * ((key.n.bit_length() + 7) // 8 - len(digest))
+        costs = {}
+        for naive in (False, True):
+            cs = make_cs()
+            s_li = LimbInt.alloc(cs, int.from_bytes(sig, "big"), 32, 3, "sig")
+            digest_pairs = [(cs.alloc(b), b) for b in digest]
+            verify_rsa_pkcs1(cs, s_li, key.n, digest_pairs, prefix, 32, naive=naive)
+            cs.check_satisfied()
+            costs[naive] = cs.num_constraints
+        assert costs[False] < costs[True]
+
+
+class TestToyHashGadget:
+    def test_matches_native(self):
+        data = b"hello toy world"
+        capacity = 48
+        cs = make_cs()
+        buf = bytearray(capacity)
+        buf[: len(data)] = data
+        buf[len(data)] = 0x80
+        byte_lcs = alloc_bytes(cs, bytes(buf), range_check=False)
+        length = cs.alloc(len(data))
+        digest_lcs, digest_vals = toyhash_gadget(
+            cs, byte_lcs, list(buf), length, len(data)
+        )
+        cs.check_satisfied()
+        expected = toyhash_padded(data, capacity)
+        assert bytes(digest_vals) == expected
+        assert [cs.lc_value(x) for x in digest_lcs] == list(expected)
+
+    def test_different_lengths_differ(self):
+        a = toyhash_padded(b"abc", 32)
+        b = toyhash_padded(b"abc\x00", 32)
+        assert a != b
+
+
+class TestSha256Gadget:
+    def test_fixed_matches_hashlib(self):
+        data = b"The quick brown fox jumps over the lazy dog"
+        cs = make_cs()
+        byte_lcs = alloc_bytes(cs, data, range_check=False)
+        digest_lcs, digest_vals = sha256_gadget(cs, byte_lcs, data)
+        cs.check_satisfied()
+        expected = hashlib.sha256(data).digest()
+        assert bytes(digest_vals) == expected
+        assert bytes(cs.lc_value(x) for x in digest_lcs) == expected
+
+    def test_fixed_two_blocks(self):
+        data = bytes(range(80))
+        cs = make_cs()
+        byte_lcs = alloc_bytes(cs, data, range_check=False)
+        digest_lcs, digest_vals = sha256_gadget(cs, byte_lcs, data)
+        cs.check_satisfied()
+        assert bytes(digest_vals) == hashlib.sha256(data).digest()
+
+    def test_reduced_rounds(self):
+        from repro.hashes.sha256 import sha256 as ref_sha
+
+        data = b"reduced"
+        cs = make_cs()
+        byte_lcs = alloc_bytes(cs, data, range_check=False)
+        _, digest_vals = sha256_gadget(cs, byte_lcs, data, rounds=16)
+        cs.check_satisfied()
+        assert bytes(digest_vals) == ref_sha(data, rounds=16)
+
+    @pytest.mark.parametrize("msg_len", [10, 55, 64])
+    def test_var_length_matches_hashlib(self, msg_len):
+        data = bytes(range(1, msg_len + 1))
+        capacity = 128
+        cs = make_cs()
+        buf = data + b"\x00" * (capacity - msg_len)
+        byte_lcs = alloc_bytes(cs, buf, range_check=False)
+        length = cs.alloc(msg_len)
+        digest_words, digest_vals = sha256_var_gadget(
+            cs, byte_lcs, list(buf), length, msg_len
+        )
+        cs.check_satisfied()
+        expected = hashlib.sha256(data).digest()
+        assert bytes(digest_vals) == expected
+        got = b"".join(
+            cs.lc_value(w).to_bytes(4, "big") for w in digest_words
+        )
+        assert got == expected

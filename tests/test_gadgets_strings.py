@@ -1,0 +1,257 @@
+"""Tests for the paper's string primitives (§4.3, Appendix B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.curves import BN254_R
+from repro.field import PrimeField
+from repro.gadgets.bits import alloc_bytes
+from repro.gadgets.strings import (
+    condshift,
+    indicator,
+    mask,
+    mask_keep_prefix,
+    mask_naive,
+    scan,
+    slice_and_pack,
+    slice_gadget,
+    slice_naive,
+    suffix_sum,
+)
+from repro.r1cs import ConstraintSystem
+
+FR = PrimeField(BN254_R)
+
+
+def make_cs():
+    return ConstraintSystem(FR)
+
+
+def values(cs, lcs):
+    return [cs.lc_value(x) for x in lcs]
+
+
+class TestIndicator:
+    @given(st.integers(min_value=0, max_value=7))
+    @settings(max_examples=8, deadline=None)
+    def test_one_hot(self, i):
+        cs = make_cs()
+        idx = cs.alloc(i)
+        ind = indicator(cs, idx, 8)
+        cs.check_satisfied()
+        expected = [1 if j == i else 0 for j in range(8)]
+        assert values(cs, ind) == expected
+
+    def test_cost_is_length_plus_one(self):
+        cs = make_cs()
+        indicator(cs, cs.alloc(3), 10)
+        assert cs.num_constraints == 11
+
+    def test_out_of_range_index_unsatisfiable(self):
+        cs = make_cs()
+        idx = cs.alloc(9)  # beyond length 8: sum of indicators is 0, not 1
+        indicator(cs, idx, 8)
+        assert not cs.is_satisfied()
+
+    def test_soundness_two_hot(self):
+        cs = make_cs()
+        idx = cs.alloc(3)
+        ind = indicator(cs, idx, 8)
+        # try to set a second 1 at position 5: its mnz constraint breaks
+        wire5 = next(iter(ind[5].terms))
+        cs.values[wire5] = 1
+        assert not cs.is_satisfied()
+
+
+class TestSuffixSum:
+    def test_values(self):
+        cs = make_cs()
+        arr = [cs.alloc(v) for v in (1, 2, 3, 4)]
+        res = suffix_sum(arr)
+        assert values(cs, res) == [10, 9, 7, 4]
+
+    def test_free(self):
+        cs = make_cs()
+        arr = [cs.alloc(v) for v in (1, 2, 3)]
+        before = cs.num_constraints
+        suffix_sum(arr)
+        assert cs.num_constraints == before
+
+
+class TestMask:
+    @given(st.integers(min_value=0, max_value=7))
+    @settings(max_examples=8, deadline=None)
+    def test_keeps_up_to_ell(self, ell):
+        data = [5, 6, 7, 8, 9, 10, 11, 12]
+        cs = make_cs()
+        arr = [cs.alloc(v) for v in data]
+        out = mask(cs, arr, cs.alloc(ell))
+        cs.check_satisfied()
+        expected = [v if i <= ell else 0 for i, v in enumerate(data)]
+        assert values(cs, out) == expected
+
+    def test_cost_2l_plus_1(self):
+        cs = make_cs()
+        arr = [cs.alloc(1) for _ in range(16)]
+        before = cs.num_constraints
+        mask(cs, arr, cs.alloc(3))
+        assert cs.num_constraints - before == 2 * 16 + 1
+
+    @given(st.integers(min_value=0, max_value=8))
+    @settings(max_examples=9, deadline=None)
+    def test_keep_prefix_length_semantics(self, n):
+        data = [5, 6, 7, 8, 9, 10, 11, 12]
+        cs = make_cs()
+        arr = [cs.alloc(v) for v in data]
+        out = mask_keep_prefix(cs, arr, cs.alloc(n))
+        cs.check_satisfied()
+        expected = [v if i < n else 0 for i, v in enumerate(data)]
+        assert values(cs, out) == expected
+
+    @given(st.integers(min_value=0, max_value=7))
+    @settings(max_examples=8, deadline=None)
+    def test_naive_matches_nope(self, ell):
+        data = [3, 1, 4, 1, 5, 9, 2, 6]
+        cs = make_cs()
+        arr = [cs.alloc(v) for v in data]
+        out_nope = mask(cs, arr, cs.alloc(ell))
+        out_naive = mask_naive(cs, arr, cs.alloc(ell))
+        cs.check_satisfied()
+        assert values(cs, out_nope) == values(cs, out_naive)
+
+    def test_nope_cheaper_than_naive(self):
+        length = 64
+        cs1 = make_cs()
+        mask(cs1, [cs1.alloc(1) for _ in range(length)], cs1.alloc(5))
+        cs2 = make_cs()
+        mask_naive(cs2, [cs2.alloc(1) for _ in range(length)], cs2.alloc(5))
+        assert cs1.num_constraints < cs2.num_constraints
+
+
+class TestCondshift:
+    def test_no_shift(self):
+        cs = make_cs()
+        arr = [cs.alloc(v) for v in (1, 2, 3, 4)]
+        out = condshift(cs, arr, cs.alloc(0), 2)
+        cs.check_satisfied()
+        assert values(cs, out) == [1, 2, 3, 4]
+
+    def test_shift(self):
+        cs = make_cs()
+        arr = [cs.alloc(v) for v in (1, 2, 3, 4)]
+        out = condshift(cs, arr, cs.alloc(1), 2)
+        cs.check_satisfied()
+        assert values(cs, out) == [3, 4, 0, 0]
+
+    def test_out_len_extension(self):
+        cs = make_cs()
+        arr = [cs.alloc(v) for v in (1, 2)]
+        out = condshift(cs, arr, cs.alloc(0), 1, out_len=4)
+        assert values(cs, out) == [1, 2, 0, 0]
+
+
+class TestSlice:
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_matches_python_slicing(self, data):
+        msg = bytes(range(20, 52))  # 32 bytes
+        out_len = data.draw(st.integers(min_value=1, max_value=8))
+        start = data.draw(st.integers(min_value=0, max_value=len(msg) - out_len))
+        cs = make_cs()
+        arr = alloc_bytes(cs, msg, range_check=False)
+        out = slice_gadget(cs, arr, cs.alloc(start), out_len)
+        cs.check_satisfied()
+        assert bytes(values(cs, out)) == msg[start : start + out_len]
+
+    @given(st.integers(min_value=0, max_value=24))
+    @settings(max_examples=10, deadline=None)
+    def test_naive_matches_nope(self, start):
+        msg = bytes(range(100, 132))
+        cs = make_cs()
+        arr = alloc_bytes(cs, msg, range_check=False)
+        a = slice_gadget(cs, arr, cs.alloc(start), 8)
+        b = slice_naive(cs, arr, cs.alloc(start), 8)
+        cs.check_satisfied()
+        assert values(cs, a) == values(cs, b)
+
+    def test_nope_cheaper_for_large_messages(self):
+        msg = bytes(128)
+        out_len = 16
+        cs1 = make_cs()
+        slice_gadget(cs1, alloc_bytes(cs1, msg, range_check=False), cs1.alloc(0), out_len)
+        cs2 = make_cs()
+        slice_naive(cs2, alloc_bytes(cs2, msg, range_check=False), cs2.alloc(0), out_len)
+        assert cs1.num_constraints < cs2.num_constraints / 3
+
+    @given(st.integers(min_value=0, max_value=16))
+    @settings(max_examples=10, deadline=None)
+    def test_slice_and_pack(self, start):
+        msg = bytes(range(60, 92))
+        out_len = 16
+        cs = make_cs()
+        arr = alloc_bytes(cs, msg, range_check=False)
+        out, elem_bytes = slice_and_pack(cs, arr, cs.alloc(start), out_len)
+        cs.check_satisfied()
+        expected = msg[start : start + out_len]
+        got = b"".join(
+            cs.lc_value(e).to_bytes(elem_bytes, "big") for e in out
+        )[:out_len]
+        assert got == expected
+
+
+def build_toy_rrset(records, header=b"hd"):
+    """Records in Appendix B.2's toy format: len(total) | type | data."""
+    msg = bytearray(header)
+    starts = []
+    for rtype, data in records:
+        starts.append(len(msg))
+        msg.append(2 + len(data))
+        msg.append(rtype)
+        msg.extend(data)
+    return bytes(msg), starts
+
+
+class TestScan:
+    def test_accepts_true_record_starts(self):
+        msg, starts = build_toy_rrset([(1, b"abc"), (2, b"de"), (3, b"")])
+        for k, start in enumerate(starts):
+            cs = make_cs()
+            arr = alloc_bytes(cs, msg, range_check=False)
+            length = scan(cs, arr, cs.alloc(start), header_len=2)
+            cs.check_satisfied()
+            assert cs.lc_value(length) == msg[start]
+
+    def test_rejects_non_start_positions(self):
+        msg, starts = build_toy_rrset([(1, b"abc"), (2, b"de")])
+        for pos in range(len(msg)):
+            cs = make_cs()
+            arr = alloc_bytes(cs, msg, range_check=False)
+            scan(cs, arr, cs.alloc(pos), header_len=2)
+            if pos in starts:
+                cs.check_satisfied()
+            else:
+                assert not cs.is_satisfied(), "pos %d wrongly accepted" % pos
+
+    def test_cheating_z_flag_detected(self):
+        # Skipping a counter reset drives the counter negative, so the
+        # indicator position constraint cannot be satisfied afterwards.
+        msg, starts = build_toy_rrset([(1, b"ab"), (2, b"cd")])
+        cs = make_cs()
+        arr = alloc_bytes(cs, msg, range_check=False)
+        scan(cs, arr, cs.alloc(starts[1]), header_len=2)
+        cs.check_satisfied()
+        # find the z wire at the first record start and zero it
+        z_label = "scan.z[%d]" % starts[0]
+        z_wire = cs.labels.index(z_label)
+        cs.values[z_wire] = 0
+        assert not cs.is_satisfied()
+
+    def test_cost_linear_small_constant(self):
+        msg, starts = build_toy_rrset([(1, b"abcdef")])
+        cs = make_cs()
+        arr = alloc_bytes(cs, msg, range_check=False)
+        before = cs.num_constraints
+        scan(cs, arr, cs.alloc(starts[0]), header_len=2)
+        per_byte = (cs.num_constraints - before) / len(msg)
+        assert per_byte <= 5.5  # paper reports 4/byte; ours is 5 + O(1)

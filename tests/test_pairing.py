@@ -1,0 +1,101 @@
+"""Tests for BN254 G2 and the optimal ate pairing."""
+
+import pytest
+
+from repro.ec import BN254_G1
+from repro.errors import CurveError
+from repro.field.extension import Fq2, Fq12
+from repro.pairing import (
+    BN254_R,
+    G2Point,
+    G2_GENERATOR,
+    final_exponentiation,
+    miller_loop,
+    multi_pairing,
+    pairing,
+    pairing_check,
+)
+
+G1 = BN254_G1.generator
+G2 = G2_GENERATOR
+
+
+class TestG2:
+    def test_generator_on_curve(self):
+        assert G2Point.on_curve(G2.x, G2.y)
+
+    def test_generator_in_subgroup(self):
+        assert G2.in_subgroup()
+
+    def test_order(self):
+        assert (BN254_R * G2).is_infinity
+
+    def test_add_identity(self):
+        assert G2 + G2Point.infinity() == G2
+
+    def test_inverse(self):
+        assert (G2 + (-G2)).is_infinity
+
+    def test_scalar_distributes(self):
+        assert 5 * G2 == 2 * G2 + 3 * G2
+
+    def test_double(self):
+        assert G2.double() == 2 * G2
+
+    def test_make_rejects_off_curve(self):
+        with pytest.raises(CurveError):
+            G2Point.make(Fq2(1, 2), Fq2(3, 4))
+
+    def test_infinity_in_subgroup(self):
+        assert G2Point.infinity().in_subgroup()
+
+
+class TestPairing:
+    def test_bilinearity_g1(self):
+        assert pairing(2 * G1, G2) == pairing(G1, G2).pow(2)
+
+    def test_bilinearity_g2(self):
+        assert pairing(G1, 3 * G2) == pairing(G1, G2).pow(3)
+
+    def test_bilinearity_both(self):
+        assert pairing(2 * G1, 3 * G2) == pairing(G1, G2).pow(6)
+
+    def test_nondegenerate(self):
+        e = pairing(G1, G2)
+        assert not e.is_one()
+        assert not e.is_zero()
+
+    def test_result_has_order_r(self):
+        e = pairing(G1, G2)
+        assert e.pow(BN254_R).is_one()
+
+    def test_pairing_with_infinity(self):
+        assert pairing(BN254_G1.infinity, G2).is_one()
+        assert pairing(G1, G2Point.infinity()).is_one()
+
+    def test_inverse_pairing(self):
+        e1 = pairing(-G1, G2)
+        e2 = pairing(G1, -G2)
+        assert e1 == e2
+        assert (e1 * pairing(G1, G2)).is_one()
+
+    def test_multi_pairing_product(self):
+        lhs = multi_pairing([(G1, G2), (2 * G1, G2)])
+        rhs = pairing(3 * G1, G2)
+        assert lhs == rhs
+
+    def test_pairing_check_balanced(self):
+        # e(aP, bQ) * e(-abP, Q) == 1
+        assert pairing_check([(2 * G1, 3 * G2), (-(6 * G1), G2)])
+
+    def test_pairing_check_unbalanced(self):
+        assert not pairing_check([(2 * G1, 3 * G2), (-(5 * G1), G2)])
+
+    def test_miller_loop_needs_final_exp(self):
+        f = miller_loop(G2, G1)
+        assert not f.is_one()
+        assert final_exponentiation(f) == pairing(G1, G2)
+
+    def test_final_exponentiation_zero_raises(self):
+        with pytest.raises(CurveError):
+            final_exponentiation(Fq12.zero())

@@ -1,0 +1,149 @@
+"""Unit and property tests for prime-field arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.curves import BN254_R
+from repro.errors import FieldError
+from repro.field import Fp, PrimeField
+
+F17 = PrimeField(17)
+FR = PrimeField(BN254_R)
+
+elements = st.integers(min_value=0, max_value=BN254_R - 1)
+
+
+class TestBasicOps:
+    def test_add_wraps(self):
+        assert F17.add(16, 5) == 4
+
+    def test_sub_wraps(self):
+        assert F17.sub(3, 5) == 15
+
+    def test_mul(self):
+        assert F17.mul(5, 7) == 35 % 17
+
+    def test_neg(self):
+        assert F17.neg(5) == 12
+        assert F17.neg(0) == 0
+
+    def test_inv(self):
+        for x in range(1, 17):
+            assert F17.mul(x, F17.inv(x)) == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(FieldError):
+            F17.inv(0)
+
+    def test_div(self):
+        assert F17.mul(F17.div(5, 7), 7) == 5
+
+    def test_pow(self):
+        assert F17.pow(3, 16) == 1  # Fermat
+
+    def test_reduce_negative(self):
+        assert F17.reduce(-1) == 16
+
+    def test_bad_modulus_raises(self):
+        with pytest.raises(FieldError):
+            PrimeField(1)
+
+
+class TestSqrt:
+    def test_sqrt_p_3_mod_4(self):
+        # 19 = 3 mod 4
+        f = PrimeField(19)
+        for x in range(1, 19):
+            sq = x * x % 19
+            r = f.sqrt(sq)
+            assert r * r % 19 == sq
+
+    def test_sqrt_p_1_mod_4(self):
+        # BN254_R = 1 mod 4 forces Tonelli-Shanks.
+        assert BN254_R % 4 == 1
+        for x in (2, 3, 12345, BN254_R - 5):
+            sq = x * x % BN254_R
+            r = FR.sqrt(sq)
+            assert r * r % BN254_R == sq
+
+    def test_sqrt_nonresidue_raises(self):
+        f = PrimeField(19)
+        nonresidues = [x for x in range(2, 19) if f.legendre(x) == -1]
+        with pytest.raises(FieldError):
+            f.sqrt(nonresidues[0])
+
+    def test_sqrt_zero(self):
+        assert FR.sqrt(0) == 0
+
+    def test_legendre(self):
+        f = PrimeField(19)
+        squares = {x * x % 19 for x in range(1, 19)}
+        for x in range(1, 19):
+            assert f.legendre(x) == (1 if x in squares else -1)
+        assert f.legendre(0) == 0
+
+
+class TestBatchInv:
+    def test_empty(self):
+        assert FR.batch_inv([]) == []
+
+    def test_matches_single(self):
+        xs = [2, 3, 999, BN254_R - 1]
+        assert FR.batch_inv(xs) == [FR.inv(x) for x in xs]
+
+    def test_zero_raises(self):
+        with pytest.raises(FieldError):
+            FR.batch_inv([1, 0, 2])
+
+    @given(st.lists(elements.filter(lambda x: x != 0), min_size=1, max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, xs):
+        invs = FR.batch_inv(xs)
+        for x, ix in zip(xs, invs):
+            assert x * ix % BN254_R == 1
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        x = FR.rand()
+        assert FR.from_bytes(FR.to_bytes(x)) == x
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(FieldError):
+            FR.from_bytes(b"\xff" * FR.byte_length)
+
+
+class TestFpWrapper:
+    def test_arithmetic(self):
+        a = Fp(F17, 5)
+        b = Fp(F17, 9)
+        assert (a + b).value == 14
+        assert (a - b).value == 13
+        assert (a * b).value == 45 % 17
+        assert (a / b) * b == a
+        assert (-a).value == 12
+        assert (a ** 16).value == 1
+        assert a + 12 == 0
+        assert 2 * a == 10
+
+    def test_mixed_fields_raise(self):
+        with pytest.raises(FieldError):
+            Fp(F17, 1) + Fp(FR, 1)
+
+    def test_sqrt_and_inverse(self):
+        a = Fp(FR, 49)
+        assert a.sqrt() * a.sqrt() == a
+        assert a.inverse() * a == 1
+
+
+@given(a=elements, b=elements, c=elements)
+@settings(max_examples=50, deadline=None)
+def test_field_axioms(a, b, c):
+    f = FR
+    assert f.add(a, b) == f.add(b, a)
+    assert f.mul(a, b) == f.mul(b, a)
+    assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+    assert f.add(a, f.neg(a)) == 0
+    if a != 0:
+        assert f.mul(a, f.inv(a)) == 1

@@ -1,0 +1,171 @@
+"""Tests for the R1CS framework (linear combinations, constraint system)."""
+
+import pytest
+
+from repro.ec.curves import BN254_R
+from repro.errors import SynthesisError, UnsatisfiedError
+from repro.field import PrimeField
+from repro.r1cs import ConstraintSystem, LinearCombination
+
+FR = PrimeField(BN254_R)
+
+
+def make_cs(**kw):
+    return ConstraintSystem(FR, **kw)
+
+
+class TestLinearCombination:
+    def test_constant_zero_empty(self):
+        assert len(LinearCombination.constant(0)) == 0
+
+    def test_add_merges_terms(self):
+        a = LinearCombination.single(1, 2)
+        b = LinearCombination.single(1, 3) + LinearCombination.single(2, 5)
+        c = a + b
+        assert c.terms == {1: 5, 2: 5}
+
+    def test_add_cancels_to_zero(self):
+        a = LinearCombination.single(1, 2)
+        assert (a - a).terms == {}
+
+    def test_scalar_mul(self):
+        a = LinearCombination.single(1, 2) + 3
+        b = a * 4
+        assert b.terms == {1: 8, 0: 12}
+
+    def test_int_coercion(self):
+        a = LinearCombination.single(1) + 5
+        assert a.terms[0] == 5
+        b = 5 + LinearCombination.single(1)
+        assert b.terms == a.terms
+
+    def test_rsub(self):
+        a = 10 - LinearCombination.single(1, 3)
+        assert a.terms == {0: 10, 1: -3}
+
+    def test_neg(self):
+        a = -(LinearCombination.single(2, 7))
+        assert a.terms == {2: -7}
+
+    def test_constant_value(self):
+        assert (LinearCombination.constant(42)).constant_value() == 42
+        with pytest.raises(SynthesisError):
+            LinearCombination.single(1).constant_value()
+
+    def test_evaluate(self):
+        lc = LinearCombination({0: 2, 1: 3})
+        assert lc.evaluate([1, 10], 97) == 32
+
+    def test_reduced(self):
+        lc = LinearCombination({1: -1})
+        assert lc.reduced(97).terms == {1: 96}
+
+
+class TestConstraintSystem:
+    def test_alloc_and_value(self):
+        cs = make_cs()
+        x = cs.alloc(42)
+        assert cs.lc_value(x) == 42
+
+    def test_mul_gadget(self):
+        cs = make_cs()
+        x = cs.alloc(6)
+        y = cs.alloc(7)
+        z = cs.mul(x, y)
+        assert cs.lc_value(z) == 42
+        cs.check_satisfied()
+        assert cs.num_constraints == 1
+
+    def test_unsatisfied_detected(self):
+        cs = make_cs()
+        x = cs.alloc(6)
+        cs.enforce(x, x, cs.constant(35), "wrong square")
+        with pytest.raises(UnsatisfiedError, match="wrong square"):
+            cs.check_satisfied()
+        assert not cs.is_satisfied()
+
+    def test_public_before_private(self):
+        cs = make_cs()
+        cs.alloc(1)
+        with pytest.raises(SynthesisError):
+            cs.alloc_public(2)
+
+    def test_public_inputs_layout(self):
+        cs = make_cs()
+        a = cs.alloc_public(11)
+        b = cs.alloc_public(22)
+        w = cs.alloc(33)
+        assert cs.public_inputs() == [11, 22]
+        assert cs.witness() == [33]
+        assert cs.full_assignment() == [1, 11, 22, 33]
+
+    def test_enforce_equal_and_zero(self):
+        cs = make_cs()
+        x = cs.alloc(5)
+        cs.enforce_equal(x, cs.constant(5))
+        cs.enforce_zero(x - 5)
+        cs.check_satisfied()
+
+    def test_enforce_bool(self):
+        cs = make_cs()
+        b = cs.alloc(1)
+        cs.enforce_bool(b)
+        cs.check_satisfied()
+        cs2 = make_cs()
+        b2 = cs2.alloc(2)
+        cs2.enforce_bool(b2)
+        assert not cs2.is_satisfied()
+
+    def test_inverse_gadget(self):
+        cs = make_cs()
+        x = cs.alloc(7)
+        ix = cs.inverse(x)
+        assert cs.lc_value(ix) * 7 % BN254_R == 1
+        cs.check_satisfied()
+
+    def test_inverse_of_zero_raises(self):
+        cs = make_cs()
+        x = cs.alloc(0)
+        with pytest.raises(SynthesisError):
+            cs.inverse(x)
+
+    def test_counting_mode_matches_full_mode(self):
+        def build(cs):
+            x = cs.alloc(3)
+            y = cs.mul(x, x)
+            cs.enforce_equal(y, cs.constant(9))
+            cs.enforce_bool(cs.alloc(1))
+
+        full = make_cs()
+        build(full)
+        counting = make_cs(counting_only=True)
+        build(counting)
+        assert counting.num_constraints == full.num_constraints
+        with pytest.raises(SynthesisError):
+            counting.check_satisfied()
+
+    def test_structure_hash_input_independent(self):
+        def build(cs, a_val, b_val):
+            a = cs.alloc_public(a_val)
+            b = cs.alloc(b_val)
+            cs.mul(a, b)
+
+        cs1 = make_cs()
+        build(cs1, 3, 4)
+        cs2 = make_cs()
+        build(cs2, 100, 200)
+        assert cs1.structure_hash() == cs2.structure_hash()
+
+    def test_structure_hash_differs_for_different_circuits(self):
+        cs1 = make_cs()
+        x = cs1.alloc(3)
+        cs1.mul(x, x)
+        cs2 = make_cs()
+        y = cs2.alloc(3)
+        cs2.enforce_equal(y, 3)
+        assert cs1.structure_hash() != cs2.structure_hash()
+
+    def test_bad_enforce_argument(self):
+        cs = make_cs()
+        with pytest.raises(SynthesisError):
+            cs.enforce("bogus", cs.one, cs.one)

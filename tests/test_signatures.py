@@ -1,0 +1,186 @@
+"""Tests for ECDSA (standard + accelerated) and RSA PKCS#1 v1.5."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import P256, TOY61
+from repro.errors import SignatureError
+from repro.hashes import sha256, toyhash
+from repro.sig import (
+    EcdsaPrivateKey,
+    EcdsaPublicKey,
+    RsaPrivateKey,
+    bits2int,
+    generate_prime,
+    is_probable_prime,
+    rfc6979_nonce,
+    signature_from_bytes,
+    signature_to_bytes,
+)
+
+P256_KEY = EcdsaPrivateKey.generate(P256)
+TOY_KEY = EcdsaPrivateKey.generate(TOY61)
+RSA_KEY = RsaPrivateKey.generate(bits=512)  # small for test speed
+RSA_TOY_KEY = RsaPrivateKey.generate(bits=144)
+
+
+class TestEcdsa:
+    def test_sign_verify_p256(self):
+        h = sha256(b"message")
+        sig = P256_KEY.sign(h)
+        P256_KEY.public_key.verify(h, sig)
+
+    def test_sign_verify_toy(self):
+        h = toyhash(b"message")
+        sig = TOY_KEY.sign(h)
+        TOY_KEY.public_key.verify(h, sig)
+
+    def test_wrong_message_rejected(self):
+        h = sha256(b"message")
+        sig = P256_KEY.sign(h)
+        with pytest.raises(SignatureError):
+            P256_KEY.public_key.verify(sha256(b"other"), sig)
+
+    def test_wrong_key_rejected(self):
+        h = sha256(b"message")
+        sig = P256_KEY.sign(h)
+        other = EcdsaPrivateKey.generate(P256)
+        with pytest.raises(SignatureError):
+            other.public_key.verify(h, sig)
+
+    def test_tampered_signature_rejected(self):
+        h = sha256(b"message")
+        r, s = P256_KEY.sign(h)
+        with pytest.raises(SignatureError):
+            P256_KEY.public_key.verify(h, (r, s + 1))
+
+    def test_out_of_range_signature_rejected(self):
+        h = sha256(b"m")
+        with pytest.raises(SignatureError):
+            P256_KEY.public_key.verify(h, (0, 1))
+        with pytest.raises(SignatureError):
+            P256_KEY.public_key.verify(h, (1, P256.order))
+
+    def test_deterministic_signatures(self):
+        h = sha256(b"deterministic")
+        assert P256_KEY.sign(h) == P256_KEY.sign(h)
+
+    def test_accelerated_verify_accepts(self):
+        h = sha256(b"fast path")
+        sig = P256_KEY.sign(h)
+        P256_KEY.public_key.verify_accelerated(h, sig)
+
+    def test_accelerated_verify_rejects(self):
+        h = sha256(b"fast path")
+        r, s = P256_KEY.sign(h)
+        with pytest.raises(SignatureError):
+            P256_KEY.public_key.verify_accelerated(sha256(b"not it"), (r, s))
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=10, deadline=None)
+    def test_accelerated_matches_standard(self, msg):
+        h = toyhash(msg)
+        sig = TOY_KEY.sign(h)
+        TOY_KEY.public_key.verify(h, sig)
+        TOY_KEY.public_key.verify_accelerated(h, sig)
+
+    def test_sign_with_point_returns_nonce_point(self):
+        h = toyhash(b"witness")
+        (r, s), r_point = TOY_KEY.sign_with_point(h)
+        assert r_point.x % TOY61.order == r
+        TOY_KEY.public_key.verify(h, (r, s))
+
+    def test_key_encode_decode(self):
+        pub = P256_KEY.public_key
+        assert EcdsaPublicKey.decode(P256, pub.encode()) == pub
+
+    def test_bad_key_encoding_rejected(self):
+        with pytest.raises(SignatureError):
+            EcdsaPublicKey.decode(P256, b"\x00" * 10)
+
+    def test_signature_bytes_roundtrip(self):
+        h = sha256(b"serialize me")
+        sig = P256_KEY.sign(h)
+        data = signature_to_bytes(P256, sig)
+        assert len(data) == 64
+        assert signature_from_bytes(P256, data) == sig
+
+    def test_private_scalar_range_validated(self):
+        with pytest.raises(SignatureError):
+            EcdsaPrivateKey(P256, 0)
+        with pytest.raises(SignatureError):
+            EcdsaPrivateKey(P256, P256.order)
+
+    def test_bits2int_truncates(self):
+        n = TOY61.order  # 60-bit order; a 32-byte hash must be right-shifted
+        h = b"\xff" * 32
+        assert bits2int(h, n).bit_length() <= n.bit_length()
+
+    def test_rfc6979_nonce_in_range_and_stable(self):
+        n = P256.order
+        k1 = rfc6979_nonce(12345, sha256(b"m"), n)
+        k2 = rfc6979_nonce(12345, sha256(b"m"), n)
+        assert k1 == k2
+        assert 1 <= k1 < n
+        assert k1 != rfc6979_nonce(12346, sha256(b"m"), n)
+
+
+class TestRsa:
+    def test_sign_verify(self):
+        sig = RSA_KEY.sign(b"hello rsa")
+        RSA_KEY.public_key.verify(b"hello rsa", sig)
+
+    def test_wrong_message_rejected(self):
+        sig = RSA_KEY.sign(b"hello rsa")
+        with pytest.raises(SignatureError):
+            RSA_KEY.public_key.verify(b"goodbye rsa", sig)
+
+    def test_tampered_signature_rejected(self):
+        sig = bytearray(RSA_KEY.sign(b"msg"))
+        sig[0] ^= 1
+        with pytest.raises(SignatureError):
+            RSA_KEY.public_key.verify(b"msg", bytes(sig))
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(SignatureError):
+            RSA_KEY.public_key.verify(b"msg", b"\x01\x02")
+
+    def test_toy_scheme(self):
+        sig = RSA_TOY_KEY.sign(b"toy data", scheme="raw-toyhash")
+        RSA_TOY_KEY.public_key.verify(b"toy data", sig, scheme="raw-toyhash")
+        with pytest.raises(SignatureError):
+            RSA_TOY_KEY.public_key.verify(b"other", sig, scheme="raw-toyhash")
+
+    def test_small_modulus_rejects_pkcs1(self):
+        with pytest.raises(SignatureError):
+            RSA_TOY_KEY.sign(b"x", scheme="pkcs1v15-sha256")
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SignatureError):
+            RSA_KEY.sign(b"x", scheme="nonsense")
+
+    def test_key_bits(self):
+        assert RSA_KEY.n.bit_length() == 512
+
+    def test_signature_is_stable(self):
+        assert RSA_KEY.sign(b"stable") == RSA_KEY.sign(b"stable")
+
+
+class TestPrimes:
+    def test_known_primes(self):
+        for p in (2, 3, 5, 97, 2305843009213703347):
+            assert is_probable_prime(p)
+
+    def test_known_composites(self):
+        for c in (1, 4, 561, 1105, 2 ** 61):  # includes Carmichael numbers
+            assert not is_probable_prime(c)
+
+    def test_generate_prime_bits(self):
+        p = generate_prime(64)
+        assert p.bit_length() == 64
+        assert is_probable_prime(p)
+
+    def test_generate_prime_too_small(self):
+        with pytest.raises(ValueError):
+            generate_prime(2)

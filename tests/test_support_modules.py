@@ -1,0 +1,147 @@
+"""Unit tests for the supporting modules: clock, profiles, pin store,
+backend dispatch, cost models, and the DCE baseline objects."""
+
+import pytest
+
+from repro.clock import DAY, HOUR, SimClock
+from repro.core import DceClient, DceServer, PinStore, make_backend
+from repro.core.backend import BACKENDS
+from repro.costmodel import PAPER_MODEL, LinearCostModel
+from repro.errors import ProofError, VerificationError
+from repro.profiles import PRODUCTION, PROFILES, TOY, build_hierarchy
+from repro.sig import EcdsaPrivateKey
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock(1000)
+        assert clock.now() == 1000
+        clock.advance(HOUR)
+        assert clock.now() == 1000 + HOUR
+
+    def test_no_time_travel(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_sleep_until(self):
+        clock = SimClock(100)
+        clock.sleep_until(500)
+        assert clock.now() == 500
+        clock.sleep_until(300)  # past timestamps are no-ops
+        assert clock.now() == 500
+
+    def test_day_constant(self):
+        assert DAY == 24 * HOUR == 86400
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert PROFILES["toy"] is TOY
+        assert PROFILES["production"] is PRODUCTION
+
+    def test_toy_parameters(self):
+        assert TOY.curve.name == "toy29"
+        assert TOY.curve_config.num_limbs == 1
+        assert TOY.default_backend == "groth16"
+
+    def test_production_parameters(self):
+        assert PRODUCTION.curve.name == "P-256"
+        assert PRODUCTION.curve_config.num_limbs == 8
+        assert PRODUCTION.sha_rounds == 64
+
+    def test_build_hierarchy_multiple_domains(self):
+        h = build_hierarchy(TOY, ["a.x", "b.x", "c.y"])
+        # shared TLD zones are reused
+        from repro.dns.name import DomainName
+
+        assert len(h.zones) == 6  # root, x, y, a.x, b.x, c.y
+        assert DomainName.parse("x") in h.zones
+
+
+class TestPinStore:
+    def test_preloaded(self):
+        store = PinStore(preloaded=["bank.example"])
+        assert store.is_required("bank.example", now=0)
+        assert not store.is_required("other.example", now=0)
+
+    def test_tofu_expiry(self):
+        store = PinStore(tofu_ttl=100)
+        store.record_nope_seen("site.example", now=1000)
+        assert store.is_required("site.example", now=1050)
+        assert store.is_required("site.example", now=1100)
+        assert not store.is_required("site.example", now=1101)
+
+    def test_trailing_dot_normalized(self):
+        store = PinStore(preloaded=["site.example."])
+        assert store.is_required("site.example", now=0)
+
+
+class TestBackendDispatch:
+    def test_known_backends(self):
+        assert set(BACKENDS) == {"groth16", "simulation"}
+        assert make_backend("simulation").name == "simulation"
+        assert make_backend("groth16").name == "groth16"
+
+    def test_unknown_backend(self):
+        with pytest.raises(ProofError):
+            make_backend("magic")
+
+    def test_sim_backend_proof_length_checked(self):
+        from repro.ec.curves import BN254_R
+        from repro.field import PrimeField
+        from repro.r1cs import ConstraintSystem
+
+        backend = make_backend("simulation")
+        cs = ConstraintSystem(PrimeField(BN254_R))
+        x = cs.alloc_public(9)
+        w = cs.alloc(3)
+        cs.enforce(w, w, x)
+        keys = backend.setup("sq", cs)
+        proof = backend.prove(keys, cs)
+        assert len(proof) == 128
+        backend.verify(keys, proof, [9])
+        with pytest.raises(ProofError):
+            backend.verify(keys, b"\x00" * 12, [9])
+        with pytest.raises(ProofError):
+            backend.verify(keys, proof, [10])
+
+
+class TestCostModel:
+    def test_paper_model_matches_published_anchors(self):
+        # Figure 6's own numbers, within a few percent
+        assert abs(PAPER_MODEL.prove_seconds(10_150_000) - 486) < 15
+        assert abs(PAPER_MODEL.prove_seconds(1_130_000) - 54) < 3
+        assert abs(PAPER_MODEL.prove_gigabytes(10_150_000) - 17.80) < 0.5
+        assert abs(PAPER_MODEL.prove_gigabytes(1_130_000) - 1.99) < 0.1
+
+    def test_linear_model_shape(self):
+        m = LinearCostModel("x", 1e-6, 100.0, t_intercept=2.0)
+        assert m.prove_seconds(0) == 2.0
+        assert m.prove_seconds(1_000_000) == 3.0
+        assert "s" in m.describe(1000)
+
+
+class TestDceObjects:
+    @pytest.fixture(scope="class")
+    def world(self):
+        h = build_hierarchy(TOY, ["dce.example"])
+        key = EcdsaPrivateKey.generate(TOY.curve)
+        server = DceServer(h, "dce.example", key.public_key.encode())
+        client = DceClient(h.root.zsk.dnskey())
+        return h, server, client
+
+    def test_roundtrip(self, world):
+        _, server, client = world
+        tls, chain = server.handshake_payload()
+        client.verify_server(tls, chain)
+
+    def test_wrong_key_rejected(self, world):
+        _, server, client = world
+        _, chain = server.handshake_payload()
+        with pytest.raises(VerificationError):
+            client.verify_server(b"\x00" * 8, chain)
+
+    def test_bandwidth_positive(self, world):
+        _, server, _ = world
+        assert server.bandwidth() > 300
