@@ -1,11 +1,20 @@
 """Supporting bench: the Groth16 back-end itself (setup/prove/verify).
 
 Verification cost is statement-size independent (the paper's Figure 4
-premise); proof size is always 128 bytes."""
+premise); proof size is always 128 bytes.
+
+Run directly for the serial-vs-parallel engine comparison::
+
+    PYTHONPATH=src python benchmarks/bench_groth16.py [--smoke] [--workers N] [-m M]
+
+which reports prover wall-time on the shared serial engine and on a
+process-pool engine, and checks the two proofs are byte-identical.
+"""
 
 import pytest
 
 from repro.ec.curves import BN254_R
+from repro.engine import Engine, EngineConfig
 from repro.field import PrimeField
 from repro.groth16 import PROOF_SIZE, prepare, proof_to_bytes, prove, setup, verify
 from repro.r1cs import ConstraintSystem
@@ -47,3 +56,73 @@ def test_proof_size(benchmark, keyed):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     _, _, _, proof = keyed
     assert len(proof_to_bytes(proof)) == PROOF_SIZE == 128
+
+
+def _fixed_rng():
+    vals = [123456789, 987654321]
+    return lambda: vals.pop(0)
+
+
+def compare_engines(m, workers, rounds=1):
+    """Time the prover on the serial engine vs a workers=N pool engine.
+
+    Returns (serial_seconds, parallel_seconds, proof_bytes); raises if the
+    two engines disagree on the proof (they must be byte-identical — group
+    arithmetic is exact, so re-association cannot change the result).
+    """
+    import time
+
+    cs = chain_circuit(m)
+    pk, vk, _ = setup(cs)
+    parallel = Engine(EngineConfig(workers=workers))
+    try:
+        # warm the prepared-key cache and the worker pool outside the timers
+        prove(pk, cs)
+        prove(pk, cs, engine=parallel)
+
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            p_serial = prove(pk, cs, rng=_fixed_rng())
+        serial_s = (time.perf_counter() - t0) / rounds
+
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            p_parallel = prove(pk, cs, rng=_fixed_rng(), engine=parallel)
+        parallel_s = (time.perf_counter() - t0) / rounds
+
+        serial_bytes = proof_to_bytes(p_serial)
+        if serial_bytes != proof_to_bytes(p_parallel):
+            raise AssertionError("serial and parallel proofs differ")
+        verify(prepare(vk), p_parallel, cs.public_inputs())
+        return serial_s, parallel_s, serial_bytes
+    finally:
+        parallel.close()
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Groth16 prover: serial vs parallel engine wall-time"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small circuit, one round (CI-sized, ~30 s)",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("-m", type=int, default=None,
+                        help="constraint-chain length (default 96 smoke / 1024)")
+    args = parser.parse_args(argv)
+
+    m = args.m or (96 if args.smoke else 1024)
+    serial_s, parallel_s, proof_bytes = compare_engines(m, args.workers)
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print(f"chain_circuit(m={m}), proof = {len(proof_bytes)} bytes")
+    print(f"  prove, serial engine:       {serial_s:8.3f} s")
+    print(f"  prove, workers={args.workers} engine:    {parallel_s:8.3f} s"
+          f"   ({speedup:.2f}x)")
+    print("  proofs byte-identical, verification passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,13 +35,17 @@ class StatementKeys:
 class Groth16Backend:
     name = "groth16"
 
+    def __init__(self, engine=None):
+        #: compute engine for setup/prove (None -> the default serial engine)
+        self.engine = engine
+
     def setup(self, shape_id, system):
-        pk, vk, toxic = setup(system)
+        pk, vk, toxic = setup(system, engine=self.engine)
         del toxic  # the trapdoor is destroyed; see tests for why it must be
         return StatementKeys(shape_id, pk, prepare(vk))
 
     def prove(self, keys, system):
-        proof = prove(keys.proving_key, system)
+        proof = prove(keys.proving_key, system, engine=self.engine)
         return proof_to_bytes(proof)
 
     def verify(self, keys, proof_bytes, public_inputs):
@@ -51,6 +55,10 @@ class Groth16Backend:
 
 class SimulationBackend:
     name = "simulation"
+
+    def __init__(self, engine=None):
+        # the simulation has no group work; accepted for interface parity
+        self.engine = engine
 
     def setup(self, shape_id, system):
         key = sim_setup(system)
@@ -70,8 +78,11 @@ class SimulationBackend:
 BACKENDS = {"groth16": Groth16Backend, "simulation": SimulationBackend}
 
 
-def make_backend(name):
+def make_backend(name, engine=None):
+    """Instantiate a backend, optionally bound to a specific compute engine
+    (an :class:`repro.engine.Engine`; None means the shared serial default).
+    """
     cls = BACKENDS.get(name)
     if cls is None:
         raise ProofError("unknown backend %r" % name)
-    return cls()
+    return cls(engine=engine)

@@ -28,8 +28,9 @@ class ManagedNopeProver(NopeProver):
 
     san_metadata = 1
 
-    def __init__(self, profile, hierarchy, domain, backend=None, field=None):
-        super().__init__(profile, hierarchy, domain, backend, field)
+    def __init__(self, profile, hierarchy, domain, backend=None, field=None,
+                 engine=None):
+        super().__init__(profile, hierarchy, domain, backend, field, engine)
         self.shape = StatementShape(profile, self.domain.depth, managed=True)
         self.statement = NopeStatement(self.shape)
 
@@ -49,6 +50,7 @@ class ManagedNopeProver(NopeProver):
         return self.zone.get(self.domain, TYPE_TXT)
 
     def synthesize(self, tls_key_bytes=b"", ca_name=b"", ts=None):
+        self.synthesis_count += 1
         if isinstance(ca_name, str):
             ca_name = ca_name.encode()
         ts = truncate_timestamp(ts) if ts else 300
@@ -67,13 +69,18 @@ class ManagedNopeProver(NopeProver):
         )
         return cs
 
-    def generate_proof(self, tls_key_bytes, ca_name, ts=None, clock=None):
+    def generate_proof(self, tls_key_bytes, ca_name, ts=None, clock=None,
+                       timer=None):
+        # T/N/TS feed the TXT-binding logic here, and the binding TXT
+        # record itself changes per proof, so the managed statement must
+        # re-synthesize (structure is unchanged; the witness is not).
         if self.keys is None:
             raise ProvingError("run trusted_setup() first")
         import time as _time
 
         if ts is None:
-            ts = clock.now() if clock is not None else int(_time.time())
+            now = timer or _time.time
+            ts = clock.now() if clock is not None else int(now())
         ts = truncate_timestamp(ts)
         cs = self.synthesize(tls_key_bytes, ca_name, ts)
         return self.backend.prove(self.keys, cs), ts

@@ -38,7 +38,8 @@ class IssuanceTimeline:
 class NopeProver:
     """A domain owner with DNSSEC keys, producing NOPE certificates."""
 
-    def __init__(self, profile, hierarchy, domain, backend=None, field=None):
+    def __init__(self, profile, hierarchy, domain, backend=None, field=None,
+                 engine=None):
         from ..ec.curves import BN254_R
         from ..field import PrimeField
 
@@ -50,9 +51,15 @@ class NopeProver:
         self.zone = hierarchy.zones[self.domain]
         self.shape = StatementShape(profile, self.domain.depth)
         self.statement = NopeStatement(self.shape)
-        self.backend = make_backend(backend or profile.default_backend)
+        self.backend = make_backend(
+            backend or profile.default_backend, engine=engine
+        )
         self.field = field or PrimeField(BN254_R)
         self.keys = None
+        #: how many times the full R1CS has been synthesized (structure +
+        #: witness); the base statement synthesizes once and re-binds
+        self.synthesis_count = 0
+        self._synthesized_cs = None
 
     # -- one-time statement setup ---------------------------------------------
 
@@ -67,6 +74,7 @@ class NopeProver:
 
     def synthesize(self, tls_key_bytes=b"", ca_name=b"", ts=0):
         """Build the fully-assigned constraint system for this statement."""
+        self.synthesis_count += 1
         cs = ConstraintSystem(self.field)
         self.statement.synthesize(
             cs,
@@ -77,25 +85,46 @@ class NopeProver:
         )
         return cs
 
+    def _structure_cs(self):
+        """The synthesized system, built once and re-bound per proof."""
+        if self._synthesized_cs is None:
+            self._synthesized_cs = self.synthesize()
+        return self._synthesized_cs
+
     def trusted_setup(self):
         """Run (or reuse) the statement's trusted setup; returns the keys."""
         if self.keys is None:
-            cs = self.synthesize()
-            self.keys = self.backend.setup(self.shape.id_string(), cs)
+            self.keys = self.backend.setup(
+                self.shape.id_string(), self._structure_cs()
+            )
         return self.keys
 
     # -- proof + certificate pipeline -----------------------------------------------
 
-    def generate_proof(self, tls_key_bytes, ca_name, ts=None, clock=None):
-        """Steps 1-2 of Figure 2.  Returns (proof_bytes, truncated_ts)."""
+    def generate_proof(self, tls_key_bytes, ca_name, ts=None, clock=None,
+                       timer=None):
+        """Steps 1-2 of Figure 2.  Returns (proof_bytes, truncated_ts).
+
+        The constraint *structure* is synthesized once per prover; each
+        call only re-binds the per-proof inputs (T, N, TS) before proving.
+        ``timer`` supplies wall-clock time when no ``clock``/``ts`` is
+        given (injectable so tests stay deterministic).
+        """
         if self.keys is None:
             raise ProvingError("run trusted_setup() first")
         if ts is None:
-            ts = clock.now() if clock is not None else int(_time.time())
+            now = timer or _time.time
+            ts = clock.now() if clock is not None else int(now())
         ts = truncate_timestamp(ts)
         if isinstance(ca_name, str):
             ca_name = ca_name.encode()
-        cs = self.synthesize(tls_key_bytes, ca_name, ts)
+        cs = self._structure_cs()
+        self.statement.bind_witness(
+            cs,
+            input_digest(self.profile, tls_key_bytes),
+            input_digest(self.profile, ca_name),
+            ts,
+        )
         return self.backend.prove(self.keys, cs), ts
 
     #: SAN metadata character: 0 = base NOPE, 1 = NOPE-managed
@@ -111,21 +140,24 @@ class NopeProver:
         return csr.sign(tls_private_key)
 
     def obtain_certificate(self, acme_server, tls_private_key, clock,
-                           dns_propagation=DNS_PROPAGATION_DELAY):
+                           dns_propagation=DNS_PROPAGATION_DELAY, timer=None):
         """The whole setup-time flow; returns (chain, timeline).
 
         Mirrors the paper's Figure 5 measurement: proof generation, ACME
-        initiation, DNS propagation, ACME verification.
+        initiation, DNS propagation, ACME verification.  Proof-generation
+        wall time is read from ``timer`` (default: real wall clock); inject
+        a fake timer to make the Figure 5 timeline reproducible under test.
         """
+        timer = timer or _time.time
         timeline = IssuanceTimeline()
         tls_key_bytes = self._spki_bytes(tls_private_key)
         # NOPE proof generation (steps 1-2): measured in wall-clock time
-        t0 = _time.time()
+        t0 = timer()
         ca_name = acme_server.ca.org_name
         proof_bytes, ts = self.generate_proof(
             tls_key_bytes, ca_name, ts=clock.now()
         )
-        proof_wall = _time.time() - t0
+        proof_wall = timer() - t0
         timeline.record("nope_proof_generation", proof_wall)
         clock.advance(max(1, int(proof_wall)))
         # ACME initiation (step 3)

@@ -246,10 +246,48 @@ def _pad(data, capacity, what):
 
 
 class NopeStatement:
-    """Synthesizes S_NOPE over a ConstraintSystem."""
+    """Synthesizes S_NOPE over a ConstraintSystem.
+
+    Synthesis is split into a structure phase and a per-proof binding
+    phase: :meth:`synthesize` builds the full R1CS (structure + chain
+    witness) once, and — for the base statement, where no constraint logic
+    touches T/N/TS (§3.2's signature-of-knowledge binding) —
+    :meth:`bind_witness` re-binds just those three public wires for each
+    subsequent proof without rebuilding any constraints.
+    """
 
     def __init__(self, shape):
         self.shape = shape
+        #: wire indices of (T, N, TS), recorded by the last synthesize()
+        self.binding_wires = None
+
+    def synthesize_structure(self, cs, witness):
+        """Build the fixed structure (and chain witness) with zero T/N/TS.
+
+        Pair with :meth:`bind_witness` to set the per-proof inputs.
+        """
+        zero = b"\x00" * self.shape.digest_len
+        self.synthesize(cs, witness, zero, zero, 0)
+
+    def bind_witness(self, cs, tls_key_digest, ca_name_digest, ts):
+        """Re-bind the per-proof public inputs on a synthesized system.
+
+        Sound only for the base statement: T, N, TS enter it through
+        pass-through constraints (``bound * 1 = bound``), which hold for
+        any value, so no other wire depends on them.  The managed variant
+        feeds them into the TXT-binding logic and must re-synthesize.
+        """
+        if self.shape.managed:
+            raise SynthesisError(
+                "managed statements use T/N/TS in constraint logic; re-synthesize"
+            )
+        if self.binding_wires is None:
+            raise SynthesisError("bind_witness requires a prior synthesize")
+        t_wire, n_wire, ts_wire = self.binding_wires
+        p = cs.field.p
+        cs.values[t_wire] = int.from_bytes(tls_key_digest, "big") % p
+        cs.values[n_wire] = int.from_bytes(ca_name_digest, "big") % p
+        cs.values[ts_wire] = ts % p
 
     # ---- public inputs --------------------------------------------------------
 
@@ -289,6 +327,9 @@ class NopeStatement:
         t_in = cs.alloc_public(int.from_bytes(tls_key_digest, "big"), "T")
         n_in = cs.alloc_public(int.from_bytes(ca_name_digest, "big"), "N")
         ts_in = cs.alloc_public(ts, "TS")
+        self.binding_wires = tuple(
+            next(iter(lc.terms)) for lc in (t_in, n_in, ts_in)
+        )
         for bound in (t_in, n_in, ts_in):
             # signature-of-knowledge binding: pass-through constraints give
             # these inputs nonzero QAP polynomials without using them

@@ -1,29 +1,14 @@
-"""Multi-scalar multiplication (MSM).
+"""Multi-scalar multiplication (MSM) — thin wrappers over ``repro.engine``.
 
 The Groth16 prover's cost is dominated by MSMs of size ~m (the number of
-constraints), so this module implements the Pippenger bucket method over
-Jacobian coordinates with mixed (Jacobian + affine) bucket additions.  A
-Straus/Shamir joint ladder is provided for the tiny fixed-width MSMs that
-appear in signature verification (2-4 points).
+constraints); the actual Pippenger bucket kernel is group-generic and lives
+in :mod:`repro.engine.msm` (one implementation for G1 and G2, with an
+optional parallel path).  This module keeps the historical entry points —
+``msm``/``msm_jacobian`` for affine Points and Jacobian tuples, ``straus``
+for the tiny fixed-width MSMs in signature verification, and the
+``FixedBaseTable`` re-export — so callers below the engine layer keep
+working.  Engine imports are lazy to avoid an ec <-> engine import cycle.
 """
-
-import math
-
-from .curve import (
-    JAC_INFINITY,
-    Point,
-    jac_add,
-    jac_add_affine,
-    jac_double,
-    jac_is_infinity,
-)
-
-
-def _window_bits(n):
-    """Pippenger window size heuristic for an n-point MSM."""
-    if n < 4:
-        return 1
-    return max(2, min(16, int(math.log2(n))))
 
 
 def msm(points, scalars):
@@ -32,96 +17,30 @@ def msm(points, scalars):
     Pairs with zero scalars or infinity points are skipped.  All points must
     share a curve.
     """
-    if len(points) != len(scalars):
-        raise ValueError("msm: points and scalars differ in length")
-    if not points:
-        raise ValueError("msm: empty input")
-    curve = points[0].curve
-    pairs = [
-        ((pt.x, pt.y), k % curve.order)
-        for pt, k in zip(points, scalars)
-        if not pt.is_infinity and k % curve.order != 0
-    ]
-    if not pairs:
-        return curve.infinity
-    jac = msm_jacobian(curve, [p for p, _ in pairs], [k for _, k in pairs])
-    return Point.from_jacobian(curve, jac)
+    from ..engine import DEFAULT_ENGINE
+
+    return DEFAULT_ENGINE.msm_points(points, scalars)
 
 
 def msm_jacobian(curve, affine_points, scalars):
     """Pippenger MSM over affine coordinate tuples; returns a Jacobian tuple."""
-    n = len(affine_points)
-    if n == 0:
-        return JAC_INFINITY
-    if n == 1:
-        from .curve import jac_mul
+    from ..engine import DEFAULT_ENGINE
 
-        return jac_mul(curve, (affine_points[0][0], affine_points[0][1], 1), scalars[0])
-    c = _window_bits(n)
-    max_bits = max(k.bit_length() for k in scalars)
-    num_windows = (max_bits + c - 1) // c or 1
-    mask = (1 << c) - 1
-    result = JAC_INFINITY
-    for w in range(num_windows - 1, -1, -1):
-        if not jac_is_infinity(result):
-            for _ in range(c):
-                result = jac_double(curve, result)
-        buckets = [JAC_INFINITY] * ((1 << c) - 1)
-        shift = w * c
-        for pt, k in zip(affine_points, scalars):
-            digit = (k >> shift) & mask
-            if digit:
-                buckets[digit - 1] = jac_add_affine(curve, buckets[digit - 1], pt)
-        acc = JAC_INFINITY
-        window_sum = JAC_INFINITY
-        for b in range(len(buckets) - 1, -1, -1):
-            if not jac_is_infinity(buckets[b]):
-                acc = jac_add(curve, acc, buckets[b])
-            if not jac_is_infinity(acc):
-                window_sum = jac_add(curve, window_sum, acc)
-        result = jac_add(curve, result, window_sum)
-    return result
+    return DEFAULT_ENGINE.msm_jacobian(curve, affine_points, scalars)
 
 
-class FixedBaseTable:
-    """Precomputed windowed table for many scalar multiplications of one base.
+def _fixed_base_table():
+    from ..engine.tables import FixedBaseTable as _FBT
 
-    Used by the Groth16 trusted setup, which must compute tens of thousands
-    of multiples of the same generator: after a one-time precomputation of
-    ``(bits/window) * 2^window`` points, each scalar multiplication is just
-    ``bits/window`` additions.  Works for any group element supporting
-    ``+`` and unary ``-`` with an explicit identity (G1 Points and pairing
-    G2Points both qualify).
-    """
+    return _FBT
 
-    def __init__(self, base, identity, max_bits, window=8):
-        self.window = window
-        self.identity = identity
-        self.num_windows = (max_bits + window - 1) // window
-        self.tables = []
-        current = base
-        for _ in range(self.num_windows):
-            row = [identity]
-            for _ in range((1 << window) - 1):
-                row.append(row[-1] + current)
-            self.tables.append(row)
-            # advance base by 2^window
-            current = row[-1] + current
-        self.mask = (1 << window) - 1
 
-    def mul(self, k):
-        """k * base using the precomputed table."""
-        if k < 0 or k.bit_length() > self.window * self.num_windows:
-            raise ValueError("scalar exceeds the precomputed table width")
-        acc = self.identity
-        w = 0
-        while k:
-            digit = k & self.mask
-            if digit:
-                acc = acc + self.tables[w][digit]
-            k >>= self.window
-            w += 1
-        return acc
+def __getattr__(name):
+    # FixedBaseTable moved to repro.engine.tables; resolve lazily so that
+    # importing repro.ec does not trigger the engine package.
+    if name == "FixedBaseTable":
+        return _fixed_base_table()
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
 
 
 def straus(points, scalars, window=2):

@@ -1,0 +1,27 @@
+"""Engine configuration.
+
+``EngineConfig(workers=N)`` selects the degree of process-level parallelism
+for the hot kernels (window-sliced MSM, per-polynomial coset FFT).  The
+default is serial (``workers=1``): results are identical either way (group
+arithmetic is exact and the parallel join is just a re-association), but
+serial keeps the test suite free of pool startup cost and of any dependence
+on the host's multiprocessing support.
+"""
+
+
+class EngineConfig:
+    """Tuning knobs for an :class:`repro.engine.Engine`."""
+
+    __slots__ = ("workers", "fb_window", "min_parallel_msm")
+
+    def __init__(self, workers=1, fb_window=8, min_parallel_msm=64):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        #: window width for cached fixed-base tables
+        self.fb_window = fb_window
+        #: below this many nonzero pairs an MSM is not worth farming out
+        self.min_parallel_msm = min_parallel_msm
+
+    def __repr__(self):
+        return "EngineConfig(workers=%d)" % self.workers

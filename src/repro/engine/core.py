@@ -1,0 +1,197 @@
+"""The Engine: one front-end over the shared compute kernels.
+
+An :class:`Engine` bundles an :class:`~repro.engine.config.EngineConfig`
+with the memoized caches (twiddle/root tables, fixed-base tables, prepared
+proving keys) and, when ``workers > 1``, a lazily-created process pool used
+by the window-sliced MSM and the per-polynomial coset FFTs.  Serial and
+parallel engines produce identical group elements — parallelism only
+re-associates exact arithmetic — so proofs are byte-identical across
+configurations.
+
+``DEFAULT_ENGINE`` is the module-wide serial engine; every API that accepts
+an ``engine=`` argument treats ``None`` as "use the default".  If the host
+cannot create a process pool (restricted sandboxes, missing semaphores),
+the engine degrades to serial silently rather than failing the proof.
+"""
+
+from .config import EngineConfig
+from .fft import (
+    cached_coset_fft,
+    cached_coset_ifft,
+    cached_fft,
+    cached_ifft,
+    coset_extend,
+)
+from .group import JacobianGroup, OperatorGroup
+from .msm import msm_generic
+from .prepared import prepare_proving_key
+from .tables import cached_table
+
+_jacobian_groups = {}
+
+
+def _jacobian_group(curve):
+    group = _jacobian_groups.get(curve)
+    if group is None:
+        group = JacobianGroup(curve)
+        _jacobian_groups[curve] = group
+    return group
+
+
+class Engine:
+    """Cached, optionally parallel compute for MSM, FFT, and setup tables."""
+
+    def __init__(self, config=None):
+        self.config = config or EngineConfig()
+        self._pool = None
+        self._pool_broken = False
+
+    def __repr__(self):
+        return "Engine(workers=%d)" % self.config.workers
+
+    @property
+    def workers(self):
+        return self.config.workers
+
+    # -- pool management ------------------------------------------------------
+
+    def _get_pool(self):
+        if self.config.workers <= 1 or self._pool_broken:
+            return None
+        if self._pool is None:
+            try:
+                import multiprocessing
+                from concurrent.futures import ProcessPoolExecutor
+
+                try:
+                    ctx = multiprocessing.get_context("fork")
+                except ValueError:
+                    ctx = multiprocessing.get_context()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.config.workers, mp_context=ctx
+                )
+            except Exception:
+                self._pool_broken = True
+                return None
+        return self._pool
+
+    def _mark_pool_broken(self):
+        self._pool_broken = True
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False)
+            except Exception:
+                pass
+            self._pool = None
+
+    def close(self):
+        """Shut down the worker pool (a closed engine falls back to serial)."""
+        self._mark_pool_broken()
+
+    # -- MSM -------------------------------------------------------------------
+
+    def _msm(self, group, bases, scalars):
+        pool = None
+        if len(bases) >= self.config.min_parallel_msm:
+            pool = self._get_pool()
+        if pool is not None:
+            try:
+                return msm_generic(
+                    group, bases, scalars, pool=pool, workers=self.config.workers
+                )
+            except Exception:
+                # a dead/forbidden pool must not kill the proof
+                self._mark_pool_broken()
+        return msm_generic(group, bases, scalars)
+
+    def msm_jacobian(self, curve, affine_bases, scalars):
+        """Pippenger MSM over affine ``(x, y)`` tuples; Jacobian result."""
+        return self._msm(_jacobian_group(curve), affine_bases, scalars)
+
+    def msm_affine_point(self, curve, affine_bases, scalars):
+        """Like :meth:`msm_jacobian` but returns an affine ``Point``."""
+        from ..ec.curve import Point
+
+        if not affine_bases:
+            return curve.infinity
+        return Point.from_jacobian(
+            curve, self.msm_jacobian(curve, affine_bases, scalars)
+        )
+
+    def msm_points(self, points, scalars):
+        """MSM over affine ``Point`` wrappers (infinity entries skipped)."""
+        if len(points) != len(scalars):
+            raise ValueError("msm: points and scalars differ in length")
+        if not points:
+            raise ValueError("msm: empty input")
+        curve = points[0].curve
+        bases, sc = [], []
+        for pt, k in zip(points, scalars):
+            if not pt.is_infinity:
+                bases.append((pt.x, pt.y))
+                sc.append(k)
+        return self.msm_affine_point(curve, bases, sc)
+
+    def msm_g2(self, points, scalars):
+        """MSM over pairing ``G2Point``s (infinity entries skipped)."""
+        from ..pairing.bn254 import BN254_R, G2Point
+
+        bases, sc = [], []
+        for pt, k in zip(points, scalars):
+            if not pt.is_infinity:
+                bases.append(pt)
+                sc.append(k)
+        group = OperatorGroup(G2Point.infinity(), order=BN254_R)
+        return self._msm(group, bases, sc)
+
+    # -- FFT -------------------------------------------------------------------
+
+    def fft(self, values, omega):
+        return cached_fft(values, omega)
+
+    def ifft(self, values, omega):
+        return cached_ifft(values, omega)
+
+    def coset_fft(self, coeffs, omega):
+        return cached_coset_fft(coeffs, omega)
+
+    def coset_ifft(self, values, omega):
+        return cached_coset_ifft(values, omega)
+
+    def coset_extend_many(self, eval_vectors, omega):
+        """IFFT + coset-FFT each vector; parallel across the pool if enabled.
+
+        This is the prover's A/B/C transform: three independent
+        ``m log m`` passes that parallelize perfectly.
+        """
+        pool = self._get_pool() if len(eval_vectors) > 1 else None
+        if pool is not None:
+            try:
+                futures = [
+                    pool.submit(coset_extend, vec, omega) for vec in eval_vectors
+                ]
+                return [fut.result() for fut in futures]
+            except Exception:
+                self._mark_pool_broken()
+        return [coset_extend(vec, omega) for vec in eval_vectors]
+
+    # -- setup tables and prepared keys -----------------------------------------
+
+    def fixed_base_table(self, base, identity, max_bits, window=None):
+        """A cached :class:`~repro.engine.tables.FixedBaseTable`."""
+        return cached_table(
+            base, identity, max_bits, window or self.config.fb_window
+        )
+
+    def prepare(self, pk):
+        """The memoized :class:`~repro.engine.prepared.PreparedProvingKey`."""
+        return prepare_proving_key(pk)
+
+
+#: Process-wide serial engine; ``engine=None`` everywhere resolves to this.
+DEFAULT_ENGINE = Engine()
+
+
+def get_engine(engine=None):
+    """Resolve an optional ``engine=`` argument to a concrete Engine."""
+    return DEFAULT_ENGINE if engine is None else engine

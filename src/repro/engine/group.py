@@ -1,0 +1,110 @@
+"""The Group protocol: what the generic MSM needs from a group.
+
+Two adapters cover every group in the repro:
+
+* :class:`JacobianGroup` — G1-style short-Weierstrass curves.  *Elements*
+  are Jacobian ``(X, Y, Z)`` int tuples, *bases* are affine ``(x, y)``
+  tuples, and bucket accumulation uses the cheaper mixed addition.
+* :class:`OperatorGroup` — any operator-overloaded group (pairing
+  ``G2Point``, affine ``Point``): elements and bases coincide, addition is
+  ``+``, identity is whatever the caller supplies.
+
+Both are picklable (they hold only curve constants), so they can cross a
+process-pool boundary for the parallel MSM path.
+"""
+
+
+class Group:
+    """Abstract group interface consumed by :func:`repro.engine.msm.msm_generic`.
+
+    ``element`` is the accumulator representation; ``base`` is the (possibly
+    cheaper) representation input points arrive in.  For groups with no
+    mixed addition the two coincide and ``add_mixed`` is plain ``add``.
+    """
+
+    def identity(self):
+        raise NotImplementedError
+
+    def is_identity(self, el):
+        raise NotImplementedError
+
+    def add(self, a, b):
+        raise NotImplementedError
+
+    def double(self, el):
+        raise NotImplementedError
+
+    def add_mixed(self, el, base):
+        """Accumulate a base point into an element (mixed add if available)."""
+        raise NotImplementedError
+
+    def scalar_mul(self, base, k):
+        """k * base, returned as an element (used for the 1-point shortcut)."""
+        raise NotImplementedError
+
+
+class JacobianGroup(Group):
+    """Adapter for ``repro.ec.curve`` Jacobian arithmetic on one curve."""
+
+    def __init__(self, curve):
+        # lazy import: repro.ec.msm delegates into the engine, so this
+        # module must not import repro.ec at module scope
+        from ..ec import curve as _c
+
+        self.curve = curve
+        self.order = curve.order
+        self._inf = _c.JAC_INFINITY
+        self._add = _c.jac_add
+        self._double = _c.jac_double
+        self._add_affine = _c.jac_add_affine
+        self._mul = _c.jac_mul
+
+    def __getstate__(self):
+        return self.curve
+
+    def __setstate__(self, curve):
+        self.__init__(curve)
+
+    def identity(self):
+        return self._inf
+
+    def is_identity(self, el):
+        return el[2] == 0
+
+    def add(self, a, b):
+        return self._add(self.curve, a, b)
+
+    def double(self, el):
+        return self._double(self.curve, el)
+
+    def add_mixed(self, el, base):
+        return self._add_affine(self.curve, el, base)
+
+    def scalar_mul(self, base, k):
+        return self._mul(self.curve, (base[0], base[1], 1), k)
+
+
+class OperatorGroup(Group):
+    """Adapter for operator-overloaded groups with an ``is_infinity`` flag."""
+
+    def __init__(self, identity_element, order=None):
+        self._identity = identity_element
+        self.order = order
+
+    def identity(self):
+        return self._identity
+
+    def is_identity(self, el):
+        return el.is_infinity
+
+    def add(self, a, b):
+        return a + b
+
+    def double(self, el):
+        return el + el
+
+    def add_mixed(self, el, base):
+        return el + base
+
+    def scalar_mul(self, base, k):
+        return k * base

@@ -1,0 +1,83 @@
+"""Prepared proving keys: per-key precomputation the prover reuses.
+
+A Groth16 proving key's CRS queries are mostly sparse — for a typical NOPE
+statement the bulk of ``b_query`` entries are the identity (variables that
+never appear on a B side).  Preparing a key walks each query once, keeps
+only the non-identity entries, and strips G1 points down to the affine
+tuples the Jacobian MSM consumes.  Every later proof then gathers scalars
+against the sparse index lists instead of rescanning full-length queries
+and re-unwrapping Point objects.
+
+Preparation is memoized per proving-key object (weakly, so keys can be
+garbage collected); one ``StatementKeys`` therefore pays the walk once no
+matter how many proofs it produces.
+"""
+
+import weakref
+
+_PREPARED = weakref.WeakKeyDictionary()
+
+
+class SparseQuery:
+    """Non-identity entries of one CRS query: parallel (index, base) lists."""
+
+    __slots__ = ("indices", "bases")
+
+    def __init__(self, indices, bases):
+        self.indices = indices
+        self.bases = bases
+
+    def gather(self, scalars, offset=0):
+        """(bases, scalars) for entries whose scalar is nonzero.
+
+        ``scalars[index + offset]`` supplies the scalar for each entry.
+        """
+        out_bases, out_scalars = [], []
+        for i, base in zip(self.indices, self.bases):
+            s = scalars[i + offset]
+            if s:
+                out_bases.append(base)
+                out_scalars.append(s)
+        return out_bases, out_scalars
+
+
+def _sparse_g1(points):
+    indices, bases = [], []
+    for i, pt in enumerate(points):
+        if not pt.is_infinity:
+            indices.append(i)
+            bases.append((pt.x, pt.y))
+    return SparseQuery(indices, bases)
+
+
+def _sparse_g2(points):
+    indices, bases = [], []
+    for i, pt in enumerate(points):
+        if not pt.is_infinity:
+            indices.append(i)
+            bases.append(pt)
+    return SparseQuery(indices, bases)
+
+
+class PreparedProvingKey:
+    """Sparse, MSM-ready views of a proving key's CRS queries."""
+
+    __slots__ = ("pk", "curve", "a", "b_g1", "b_g2", "l", "h")
+
+    def __init__(self, pk):
+        self.pk = pk
+        self.curve = pk.alpha_g1.curve
+        self.a = _sparse_g1(pk.a_query)
+        self.b_g1 = _sparse_g1(pk.b_g1_query)
+        self.b_g2 = _sparse_g2(pk.b_g2_query)
+        self.l = _sparse_g1(pk.l_query)
+        self.h = _sparse_g1(pk.h_query)
+
+
+def prepare_proving_key(pk):
+    """A :class:`PreparedProvingKey` for ``pk``, memoized weakly per key."""
+    prepared = _PREPARED.get(pk)
+    if prepared is None:
+        prepared = PreparedProvingKey(pk)
+        _PREPARED[pk] = prepared
+    return prepared

@@ -1,0 +1,58 @@
+"""Fixed-base windowed tables, with a process-wide memo.
+
+The Groth16 trusted setup computes tens of thousands of multiples of the
+two group generators; the table makes each multiplication ``bits/window``
+additions after a one-time precomputation.  Since every setup for every
+statement uses the same generators, the tables are cached globally keyed by
+``(base, max_bits, window)`` — the second and later setups skip the
+precomputation entirely.
+"""
+
+_TABLE_CACHE = {}
+
+
+class FixedBaseTable:
+    """Precomputed windowed table for many scalar multiplications of one base.
+
+    Works for any group element supporting ``+`` with an explicit identity
+    (G1 Points and pairing G2Points both qualify).
+    """
+
+    def __init__(self, base, identity, max_bits, window=8):
+        self.window = window
+        self.identity = identity
+        self.num_windows = (max_bits + window - 1) // window
+        self.tables = []
+        current = base
+        for _ in range(self.num_windows):
+            row = [identity]
+            for _ in range((1 << window) - 1):
+                row.append(row[-1] + current)
+            self.tables.append(row)
+            # advance base by 2^window
+            current = row[-1] + current
+        self.mask = (1 << window) - 1
+
+    def mul(self, k):
+        """k * base using the precomputed table."""
+        if k < 0 or k.bit_length() > self.window * self.num_windows:
+            raise ValueError("scalar exceeds the precomputed table width")
+        acc = self.identity
+        w = 0
+        while k:
+            digit = k & self.mask
+            if digit:
+                acc = acc + self.tables[w][digit]
+            k >>= self.window
+            w += 1
+        return acc
+
+
+def cached_table(base, identity, max_bits, window=8):
+    """A :class:`FixedBaseTable`, memoized by (base, max_bits, window)."""
+    key = (base, max_bits, window)
+    table = _TABLE_CACHE.get(key)
+    if table is None:
+        table = FixedBaseTable(base, identity, max_bits, window)
+        _TABLE_CACHE[key] = table
+    return table

@@ -1,35 +1,26 @@
-"""Radix-2 FFT (NTT) over the BN254 scalar field.
+"""Radix-2 FFT (NTT) over the BN254 scalar field — uncached reference.
 
 The Groth16 prover divides A(X)*B(X) - C(X) by the vanishing polynomial of
 the evaluation domain; with a power-of-two domain (BN254's Fr has 2-adicity
 28) this is three FFTs and a coset trick.
+
+The hot path uses the cached-twiddle variants in :mod:`repro.engine.fft`
+(same transforms, memoized domain tables); the implementations here are the
+uncached reference the engine's property tests compare against.  Domain
+constants and ``domain_root`` are shared with the engine so the two can
+never diverge.
 """
 
 from ..ec.curves import BN254_R
+from ..engine.fft import (  # noqa: F401  (re-exported compatibility names)
+    GENERATOR,
+    ROOT_OF_UNITY,
+    TWO_ADICITY,
+    domain_root,
+)
 from ..errors import ProvingError
 
 R = BN254_R
-
-#: Multiplicative generator of Fr* (standard for BN254).
-GENERATOR = 5
-
-#: 2-adicity of r - 1.
-TWO_ADICITY = 28
-
-_ODD = (R - 1) >> TWO_ADICITY
-
-#: 2^28-th root of unity.
-ROOT_OF_UNITY = pow(GENERATOR, _ODD, R)
-
-
-def domain_root(size):
-    """Primitive size-th root of unity (size a power of two <= 2^28)."""
-    if size & (size - 1):
-        raise ProvingError("domain size must be a power of two")
-    log = size.bit_length() - 1
-    if log > TWO_ADICITY:
-        raise ProvingError("domain too large for the field's 2-adicity")
-    return pow(ROOT_OF_UNITY, 1 << (TWO_ADICITY - log), R)
 
 
 def fft(values, omega):

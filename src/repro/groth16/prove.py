@@ -3,63 +3,28 @@
 Cost profile (why the paper cares about constraint counts): three G1 MSMs
 and one G2 MSM of size ~n plus one size-m MSM for h, and FFTs of size d =
 next_pow2(m) — overall m log m field work and O(m) group work.
+
+All group and polynomial kernels flow through :mod:`repro.engine`: the
+generic Pippenger MSM (shared between G1 and G2), cached-twiddle FFTs, and
+the memoized prepared proving key that pre-extracts each CRS query's
+non-identity entries.
 """
 
 import secrets
 
-from ..ec.curves import BN254_G1, BN254_R
-from ..ec.msm import msm
+from ..ec.curves import BN254_R
+from ..engine import get_engine
 from ..errors import ProvingError
-from ..pairing.bn254 import G2Point
-from .fft import coset_fft, coset_ifft, domain_root, fft, ifft
+from .fft import GENERATOR, domain_root
 from .keys import Proof
 from .setup import _next_pow2
 
 R = BN254_R
 
 
-def _g2_msm(points, scalars):
-    """Pippenger bucket MSM over G2 (generic group operations)."""
-    import math
-
-    pairs = [
-        (pt, k % R)
-        for pt, k in zip(points, scalars)
-        if not pt.is_infinity and k % R
-    ]
-    if not pairs:
-        return G2Point.infinity()
-    if len(pairs) == 1:
-        return pairs[0][1] * pairs[0][0]
-    c = max(2, min(14, int(math.log2(len(pairs)))))
-    max_bits = max(k.bit_length() for _, k in pairs)
-    num_windows = (max_bits + c - 1) // c
-    mask = (1 << c) - 1
-    result = G2Point.infinity()
-    for w in range(num_windows - 1, -1, -1):
-        if not result.is_infinity:
-            for _ in range(c):
-                result = result + result
-        buckets = [None] * ((1 << c) - 1)
-        shift = w * c
-        for pt, k in pairs:
-            digit = (k >> shift) & mask
-            if digit:
-                cur = buckets[digit - 1]
-                buckets[digit - 1] = pt if cur is None else cur + pt
-        acc = G2Point.infinity()
-        window_sum = G2Point.infinity()
-        for b in range(len(buckets) - 1, -1, -1):
-            if buckets[b] is not None:
-                acc = acc + buckets[b]
-            if not acc.is_infinity:
-                window_sum = window_sum + acc
-        result = result + window_sum
-    return result
-
-
-def compute_h_coefficients(structure):
+def compute_h_coefficients(structure, engine=None):
     """Coefficients of h(X) = (A(X)B(X) - C(X)) / Z(X) on the QAP domain."""
+    eng = get_engine(engine)
     m = structure.constraint_count
     d = _next_pow2(max(m, 2))
     omega = domain_root(d)
@@ -71,36 +36,36 @@ def compute_h_coefficients(structure):
         a_evals[j] = a.evaluate(values, R)
         b_evals[j] = b.evaluate(values, R)
         c_evals[j] = c.evaluate(values, R)
-    a_coeffs = ifft(a_evals, omega)
-    b_coeffs = ifft(b_evals, omega)
-    c_coeffs = ifft(c_evals, omega)
-    a_coset = coset_fft(a_coeffs, omega)
-    b_coset = coset_fft(b_coeffs, omega)
-    c_coset = coset_fft(c_coeffs, omega)
+    a_coset, b_coset, c_coset = eng.coset_extend_many(
+        [a_evals, b_evals, c_evals], omega
+    )
     # Z(g w^j) = g^d - 1 is constant on the coset
-    from .fft import GENERATOR
-
     z_coset = (pow(GENERATOR, d, R) - 1) % R
     z_inv = pow(z_coset, -1, R)
     h_coset = [
         (av * bv - cv) % R * z_inv % R
         for av, bv, cv in zip(a_coset, b_coset, c_coset)
     ]
-    h_coeffs = coset_ifft(h_coset, omega)
+    h_coeffs = eng.coset_ifft(h_coset, omega)
     # degree of h is d - 2; the top coefficient must vanish
     if h_coeffs[d - 1] % R != 0:
         raise ProvingError("constraint system is not satisfied (h overflow)")
     return h_coeffs[: d - 1]
 
 
-def prove(pk, system, rng=None):
+def prove(pk, system, rng=None, engine=None):
     """Produce a proof that ``system``'s assignment satisfies its R1CS.
 
     ``system`` is a fully synthesized ConstraintSystem (witness included).
+    ``engine`` selects the compute engine (serial default; a
+    ``workers=N`` engine produces byte-identical proofs faster).
     """
     if system.counting_only:
         raise ProvingError("cannot prove a counting-only system")
     system.check_satisfied()
+    eng = get_engine(engine)
+    prep = eng.prepare(pk)
+    curve = prep.curve
     z = system.full_assignment()
     num_vars = len(z)
     if num_vars != len(pk.a_query):
@@ -108,38 +73,26 @@ def prove(pk, system, rng=None):
     rand = rng or (lambda: secrets.randbelow(R))
     r = rand()
     s = rand()
-    h_coeffs = compute_h_coefficients(system)
+    h_coeffs = compute_h_coefficients(system, eng)
 
-    nonzero = [(i, zi) for i, zi in enumerate(z) if zi]
-    a_pts = [pk.a_query[i] for i, _ in nonzero]
-    a_sc = [zi for _, zi in nonzero]
-    g1_a = msm(a_pts + [BN254_G1.generator], a_sc + [0]) if a_pts else BN254_G1.infinity
+    a_bases, a_sc = prep.a.gather(z)
+    g1_a = eng.msm_affine_point(curve, a_bases, a_sc)
     # A = alpha + sum z_i A_i(tau) + r*delta
     g1_a = pk.alpha_g1 + g1_a + r * pk.delta_g1
 
-    b_g1_pts = [pk.b_g1_query[i] for i, _ in nonzero]
-    g1_b = msm(b_g1_pts, a_sc) if b_g1_pts else BN254_G1.infinity
+    b1_bases, b1_sc = prep.b_g1.gather(z)
+    g1_b = eng.msm_affine_point(curve, b1_bases, b1_sc)
     g1_b = pk.beta_g1 + g1_b + s * pk.delta_g1
 
-    b_g2_pts = [pk.b_g2_query[i] for i, _ in nonzero]
-    g2_b = _g2_msm(b_g2_pts, a_sc)
+    b2_bases, b2_sc = prep.b_g2.gather(z)
+    g2_b = eng.msm_g2(b2_bases, b2_sc)
     g2_b = pk.beta_g2 + g2_b + s * pk.delta_g2
 
     # C = sum_w z_i L_i/delta + sum h_k tau^k Z/delta + s*A + r*B1 - rs*delta
     wit_start = 1 + system.num_public
-    wit_pairs = [
-        (pk.l_query[i - wit_start], z[i])
-        for i in range(wit_start, num_vars)
-        if z[i]
-    ]
-    h_pairs = [
-        (pk.h_query[k], hv) for k, hv in enumerate(h_coeffs) if hv
-    ]
-    pairs = wit_pairs + h_pairs
-    if pairs:
-        g1_c = msm([p for p, _ in pairs], [v for _, v in pairs])
-    else:
-        g1_c = BN254_G1.infinity
+    l_bases, l_sc = prep.l.gather(z, offset=wit_start)
+    h_bases, h_sc = prep.h.gather(h_coeffs)
+    g1_c = eng.msm_affine_point(curve, l_bases + h_bases, l_sc + h_sc)
     g1_c = (
         g1_c + s * g1_a + r * g1_b + ((-(r * s)) % R) * pk.delta_g1
     )

@@ -14,7 +14,7 @@ import secrets
 
 from ..ec.curve import Point
 from ..ec.curves import BN254_G1, BN254_R
-from ..ec.msm import FixedBaseTable
+from ..engine import get_engine
 from ..errors import ProvingError
 from ..pairing.bn254 import G2Point, G2_GENERATOR
 from .fft import domain_root
@@ -78,14 +78,17 @@ def evaluate_qap_at(structure, tau):
     return a_vals, b_vals, c_vals, d, z_tau
 
 
-def setup(structure, rng=None):
+def setup(structure, rng=None, engine=None):
     """Run the trusted setup for an R1CS structure.
 
     Returns (proving_key, verifying_key, toxic_waste).  Callers other than
-    tests should discard the toxic waste immediately.
+    tests should discard the toxic waste immediately.  The engine's
+    fixed-base tables for the two generators are cached process-wide, so
+    repeated setups skip the table precomputation.
     """
     if structure.counting_only:
         raise ProvingError("cannot set up a counting-only system")
+    eng = get_engine(engine)
     rand = rng or (lambda: secrets.randbelow(R - 1) + 1)
     tau, alpha, beta, gamma, delta = (rand() for _ in range(5))
     a_vals, b_vals, c_vals, d, z_tau = evaluate_qap_at(structure, tau)
@@ -94,8 +97,8 @@ def setup(structure, rng=None):
     gamma_inv = pow(gamma, -1, R)
     delta_inv = pow(delta, -1, R)
 
-    g1_table = FixedBaseTable(G1, BN254_G1.infinity, R.bit_length())
-    g2_table = FixedBaseTable(G2, G2Point.infinity(), R.bit_length())
+    g1_table = eng.fixed_base_table(G1, BN254_G1.infinity, R.bit_length())
+    g2_table = eng.fixed_base_table(G2, G2Point.infinity(), R.bit_length())
 
     a_query = [g1_table.mul(a_vals[i]) for i in range(num_vars)]
     b_g1_query = [g1_table.mul(b_vals[i]) for i in range(num_vars)]
