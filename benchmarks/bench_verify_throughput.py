@@ -1,0 +1,197 @@
+"""Verifier throughput: naive vs prepared vs batched vs batched+workers
+vs cached (proofs/sec), against the Fig. 4 single-verify baseline.
+
+The client-side verifier is the path a production deployment executes
+millions of times per day; this bench measures how far each layer of the
+verifier stack moves it:
+
+- **naive**: per-proof ``verify()`` on an *unprepared* verifying key —
+  three Miller loops with on-the-fly line derivation plus a fresh
+  ``e(alpha, beta)`` every call (the Fig. 4 baseline).
+- **prepared**: per-proof ``verify()`` on a ``PreparedVerifyingKey`` —
+  cached ``e(alpha, beta)`` and stored Miller-loop lines for
+  beta/gamma/delta.
+- **batched**: ``verify_batch()`` — one random-linear-combination
+  multi-pairing check, one final exponentiation per batch.
+- **batched+workers**: the same check with the batch's Miller loops
+  sliced across an ``EngineConfig(workers=N)`` process pool.
+- **cached**: a client :class:`~repro.core.VerificationCache` hit — a
+  dictionary probe; what a repeat connection to the same server pays.
+
+Every path must return verdicts identical to naive ``verify()`` on every
+test vector, including tampered proofs — asserted before timing.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_verify_throughput.py [--smoke]
+        [--batch N] [--workers N] [--rounds N]
+"""
+
+import argparse
+import time
+
+from repro.ec.curves import BN254_R
+from repro.engine import Engine, EngineConfig
+from repro.field import PrimeField
+from repro.groth16 import (
+    Proof,
+    batch_is_valid,
+    is_valid,
+    prepare,
+    prove,
+    setup,
+)
+from repro.groth16.verify import PreparedVerifyingKey
+from repro.r1cs import ConstraintSystem
+
+FR = PrimeField(BN254_R)
+R = BN254_R
+
+
+def cubic_system(w_val):
+    """Public x; witness w with w^3 + w + 5 == x (Fig. 4-sized statement:
+    verification cost is independent of circuit size)."""
+    cs = ConstraintSystem(FR)
+    x_val = (pow(w_val, 3, R) + w_val + 5) % R
+    x = cs.alloc_public(x_val, "x")
+    w = cs.alloc(w_val, "w")
+    w2 = cs.mul(w, w)
+    w3 = cs.mul(w2, w)
+    cs.enforce_equal(w3 + w + 5, x)
+    return cs
+
+
+def make_batch(batch_size):
+    """One key pair plus ``batch_size`` proofs over distinct public inputs."""
+    systems = [cubic_system(3 + i) for i in range(batch_size)]
+    pk, vk, _ = setup(systems[0])
+    proofs = [prove(pk, cs) for cs in systems]
+    publics = [cs.public_inputs() for cs in systems]
+    return vk, proofs, publics
+
+
+def tamper(proof):
+    return Proof(2 * proof.a, proof.b, proof.c)
+
+
+def check_verdicts_identical(vk, pvk, proofs, publics, engines):
+    """Every path must agree with naive verify() on good AND tampered
+    vectors; returns the number of vectors checked."""
+    vectors = [(proofs[i], publics[i], True) for i in range(len(proofs))]
+    vectors.append((tamper(proofs[0]), publics[0], False))
+    vectors.append((proofs[1], [publics[1][0] + 1], False))
+    for proof, xs, expected in vectors:
+        assert is_valid(vk, proof, xs) == expected, "naive verdict drifted"
+        assert is_valid(pvk, proof, xs) == expected, "prepared != naive"
+    # batched paths: all-good batch, and a batch with one bad entry
+    for engine in engines:
+        assert batch_is_valid(pvk, proofs, publics, engine=engine)
+        bad_proofs = [tamper(p) if i == len(proofs) // 2 else p
+                      for i, p in enumerate(proofs)]
+        assert not batch_is_valid(pvk, bad_proofs, publics, engine=engine)
+        bad_publics = [list(xs) for xs in publics]
+        bad_publics[-1][0] += 1
+        assert not batch_is_valid(pvk, proofs, bad_publics, engine=engine)
+    return len(vectors) + 3 * len(engines)
+
+
+def time_per_proof(fn, batch_size, rounds):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best / batch_size
+
+
+def bench_cached_lookup(rounds=10000):
+    """Proofs/sec equivalent of a client verification-cache hit."""
+    from repro.core import VerificationCache
+
+    class _FakeLeaf:
+        serial = 1
+        not_before = 0
+        not_after = 1 << 40
+
+    cache = VerificationCache()
+    cache.store(b"\x01" * 32, "example.com", object(), _FakeLeaf(), now=100)
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        cache.lookup(b"\x01" * 32, "example.com", 100)
+    return (time.perf_counter() - t0) / rounds
+
+
+def run(batch_size, workers, rounds):
+    print("generating %d proofs..." % batch_size)
+    vk, proofs, publics = make_batch(batch_size)
+    pvk = prepare(vk)
+    parallel = Engine(EngineConfig(workers=workers))
+    try:
+        checked = check_verdicts_identical(
+            vk, pvk, proofs, publics, engines=[None, parallel]
+        )
+        print("verdict parity: %d vectors identical across all paths" % checked)
+
+        def naive():
+            for proof, xs in zip(proofs, publics):
+                # a fresh PreparedVerifyingKey per call = the legacy
+                # no-precomputation cost (lines + alpha_beta re-derived)
+                assert is_valid(PreparedVerifyingKey(vk), proof, xs)
+
+        def prepared():
+            for proof, xs in zip(proofs, publics):
+                assert is_valid(pvk, proof, xs)
+
+        def batched():
+            assert batch_is_valid(pvk, proofs, publics)
+
+        def batched_workers():
+            assert batch_is_valid(pvk, proofs, publics, engine=parallel)
+
+        batched_workers()  # warm the pool outside the timer
+        results = [
+            ("naive verify()", time_per_proof(naive, batch_size, rounds)),
+            ("prepared verify()", time_per_proof(prepared, batch_size, rounds)),
+            ("batched (N=%d)" % batch_size,
+             time_per_proof(batched, batch_size, rounds)),
+            ("batched + workers=%d" % workers,
+             time_per_proof(batched_workers, batch_size, rounds)),
+            ("cached (client hit)", bench_cached_lookup()),
+        ]
+        baseline = results[0][1]
+        prepared_s = results[1][1]
+        batched_s = results[2][1]
+        print("\n%-24s %12s %12s %10s" % ("path", "s/proof", "proofs/sec", "speedup"))
+        for name, per_proof in results:
+            print("%-24s %12.6f %12.1f %9.1fx"
+                  % (name, per_proof, 1.0 / per_proof, baseline / per_proof))
+        batched_vs_per_proof = prepared_s / batched_s
+        print("\nbatched vs per-proof verify() at N=%d: %.2fx"
+              % (batch_size, batched_vs_per_proof))
+        return batched_vs_per_proof
+    finally:
+        parallel.close()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Verifier throughput: naive/prepared/batched/cached"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer rounds, still batch 16)")
+    parser.add_argument("--batch", type=int, default=16)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--rounds", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    rounds = args.rounds or (1 if args.smoke else 3)
+    speedup = run(args.batch, args.workers, rounds)
+    if args.batch >= 16 and speedup < 2.0:
+        raise SystemExit(
+            "batched verification below the 2x target: %.2fx" % speedup
+        )
+    print("ok")
+
+
+if __name__ == "__main__":
+    main()

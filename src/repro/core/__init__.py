@@ -2,7 +2,12 @@
 
 from .advertisement import PinStore
 from .backend import Groth16Backend, SimulationBackend, StatementKeys, make_backend
-from .client import NopeClient, VerificationReport
+from .client import (
+    NopeClient,
+    VerificationCache,
+    VerificationReport,
+    leaf_fingerprint,
+)
 from .common import SCT_TOLERANCE, TS_GRANULARITY, input_digest, truncate_timestamp
 from .dce import DceClient, DceServer
 from .managed import ManagedNopeProver
@@ -31,6 +36,8 @@ __all__ = [
     "IssuanceTimeline",
     "NopeClient",
     "VerificationReport",
+    "VerificationCache",
+    "leaf_fingerprint",
     "PinStore",
     "DceServer",
     "DceClient",

@@ -11,6 +11,7 @@ identical.
 
 from ..errors import ProofError
 from ..groth16 import (
+    BatchVerificationError,
     prepare,
     proof_from_bytes,
     proof_to_bytes,
@@ -20,6 +21,7 @@ from ..groth16 import (
     sim_setup,
     sim_verify,
     verify,
+    verify_batch,
 )
 
 
@@ -50,7 +52,25 @@ class Groth16Backend:
 
     def verify(self, keys, proof_bytes, public_inputs):
         proof = proof_from_bytes(proof_bytes)
-        verify(keys.verifying_key, proof, public_inputs)
+        verify(keys.verifying_key, proof, public_inputs, engine=self.engine)
+
+    def verify_batch(self, keys, proof_bytes_list, public_inputs_list):
+        """One multi-pairing check over N proofs (same verdicts as N
+        :meth:`verify` calls; raises BatchVerificationError with the
+        offending indices)."""
+        proofs = []
+        malformed = []
+        for i, data in enumerate(proof_bytes_list):
+            try:
+                proofs.append(proof_from_bytes(data))
+            except Exception:
+                proofs.append(None)
+                malformed.append(i)
+        if malformed:
+            raise BatchVerificationError(malformed)
+        verify_batch(
+            keys.verifying_key, proofs, public_inputs_list, engine=self.engine
+        )
 
 
 class SimulationBackend:
@@ -73,6 +93,19 @@ class SimulationBackend:
         if len(proof_bytes) != 128:
             raise ProofError("bad proof length")
         sim_verify(keys.verifying_key, SimulatedProof(proof_bytes), public_inputs)
+
+    def verify_batch(self, keys, proof_bytes_list, public_inputs_list):
+        """Interface parity with Groth16Backend (a per-proof loop here)."""
+        bad = []
+        for i, (data, publics) in enumerate(
+            zip(proof_bytes_list, public_inputs_list)
+        ):
+            try:
+                self.verify(keys, data, publics)
+            except ProofError:
+                bad.append(i)
+        if bad:
+            raise BatchVerificationError(bad)
 
 
 BACKENDS = {"groth16": Groth16Backend, "simulation": SimulationBackend}

@@ -16,9 +16,18 @@ Verification order matters and mirrors §3.2:
 Advertisement (§6) is a pin store: for pinned domains a certificate
 *without* a valid NOPE proof is rejected, preventing rogue-certificate
 laundering against NOPE-enabled servers.
+
+Repeat connections are served from a :class:`VerificationCache`: a
+successful NOPE verification is remembered under (leaf-certificate
+fingerprint, domain) for as long as the certificate — and, when OCSP is in
+play, the revocation window — stays valid, so the expensive proof pairing
+check runs once per (cert, domain) instead of once per connection.
+Revocation is never cached: on a hit the client still re-checks OCSP
+status, and a revoked or expired certificate is evicted, not served.
 """
 
 from ..errors import CertificateError, EncodingError, ProofError, VerificationError
+from ..hashes.sha256 import sha256
 from ..x509 import oid as OID
 from ..x509.cert import parse_sct_list
 from ..x509.san import decode_proof_sans, is_nope_san
@@ -47,12 +56,104 @@ class VerificationReport:
         )
 
 
+def leaf_fingerprint(cert):
+    """SHA-256 over the certificate's DER encoding — the cache key."""
+    return sha256(cert.to_der())
+
+
+class _CacheEntry:
+    """One remembered verification outcome."""
+
+    __slots__ = ("report", "serial", "not_before", "expires_at")
+
+    def __init__(self, report, serial, not_before, expires_at):
+        self.report = report
+        self.serial = serial
+        self.not_before = not_before
+        self.expires_at = expires_at
+
+
+class VerificationCache:
+    """TTL cache of successful NOPE verifications.
+
+    Keyed by (leaf-certificate fingerprint, domain); an entry expires at
+    the earliest of the certificate's notAfter, the OCSP response's
+    nextUpdate (when revocation was checked at store time), and an optional
+    ``max_ttl`` cap.  Only *successful* verifications are stored — a
+    rejection must re-run every check, since the server may staple a
+    corrected response on retry.
+    """
+
+    def __init__(self, max_entries=4096, max_ttl=None):
+        self.max_entries = max_entries
+        self.max_ttl = max_ttl
+        self._entries = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def lookup(self, fingerprint, domain, now):
+        """The cached :class:`VerificationReport`, or None (expired = None)."""
+        key = (fingerprint, domain)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if now < entry.not_before or now > entry.expires_at:
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.report
+
+    def store(self, fingerprint, domain, report, leaf, now, ocsp_response=None):
+        """Remember a successful verification within its validity window."""
+        expires_at = leaf.not_after
+        if ocsp_response is not None:
+            expires_at = min(expires_at, ocsp_response.next_update)
+        if self.max_ttl is not None:
+            expires_at = min(expires_at, now + self.max_ttl)
+        if expires_at < now:
+            return
+        if len(self._entries) >= self.max_entries:
+            # drop the entry closest to expiry; keeps the cache bounded
+            # without tracking recency
+            victim = min(
+                self._entries, key=lambda k: self._entries[k].expires_at
+            )
+            del self._entries[victim]
+        self._entries[(fingerprint, domain)] = _CacheEntry(
+            report, leaf.serial, leaf.not_before, expires_at
+        )
+
+    def invalidate(self, fingerprint, domain=None):
+        """Drop entries for a certificate (optionally one domain only)."""
+        if domain is not None:
+            self._entries.pop((fingerprint, domain), None)
+            return
+        for key in [k for k in self._entries if k[0] == fingerprint]:
+            del self._entries[key]
+
+    def invalidate_serial(self, serial):
+        """Drop every entry for a serial (revocation broadcast hook)."""
+        for key in [
+            k for k, e in self._entries.items() if e.serial == serial
+        ]:
+            del self._entries[key]
+
+    def clear(self):
+        self._entries.clear()
+
+
 class NopeClient:
     """A TLS client with optional NOPE awareness."""
 
     def __init__(self, profile, trust_roots, root_zsk_dnskey=None,
                  statement_keys=None, statements=None, backend=None,
-                 pin_store=None, min_scts=1, nope_aware=True):
+                 pin_store=None, min_scts=1, nope_aware=True,
+                 verification_cache=None):
         self.profile = profile
         self.trust_roots = list(trust_roots)
         self.root_zsk_dnskey = root_zsk_dnskey
@@ -65,6 +166,8 @@ class NopeClient:
         self.pin_store = pin_store
         self.min_scts = min_scts
         self.nope_aware = nope_aware
+        #: optional :class:`VerificationCache`; None disables caching
+        self.verification_cache = verification_cache
 
     def register_statement(self, statement, keys):
         self.statements[statement.shape.id_string()] = (statement, keys)
@@ -78,6 +181,14 @@ class NopeClient:
         Raises CertificateError/ProofError on rejection.
         """
         domain = domain.rstrip(".")
+        fingerprint = None
+        if self.verification_cache is not None and chain:
+            fingerprint = leaf_fingerprint(chain[0])
+            cached = self._cached_report(
+                fingerprint, domain, chain[0], now, ocsp_responder, ocsp_response
+            )
+            if cached is not None:
+                return cached
         leaf = validate_chain(chain, self.trust_roots, domain, now)
         # revocation (stapled response, or fetched from the responder)
         if ocsp_responder is not None:
@@ -85,6 +196,8 @@ class NopeClient:
                 ocsp_response = ocsp_responder.status(leaf.serial)
             status = ocsp_responder.verify_response(ocsp_response, now)
             if status == STATUS_REVOKED:
+                if self.verification_cache is not None and fingerprint:
+                    self.verification_cache.invalidate(fingerprint)
                 raise CertificateError("certificate is revoked")
         if not self.nope_aware:
             return VerificationReport(domain, True, False, False, "legacy client")
@@ -100,7 +213,38 @@ class NopeClient:
         self._check_sct_consistency(leaf)
         if self.pin_store is not None:
             self.pin_store.record_nope_seen(domain, now)
-        return VerificationReport(domain, True, True, True)
+        report = VerificationReport(domain, True, True, True)
+        if self.verification_cache is not None and fingerprint:
+            self.verification_cache.store(
+                fingerprint, domain, report, leaf, now, ocsp_response
+            )
+        return report
+
+    def _cached_report(self, fingerprint, domain, leaf, now,
+                       ocsp_responder, ocsp_response):
+        """A still-valid cached verification, or None to verify in full.
+
+        A hit skips chain validation, proof verification, and the SCT
+        checks — all of which depend only on the (immutable) certificate
+        bytes already verified — but *never* skips revocation: with a
+        responder in play the OCSP status is re-checked on every
+        connection, and a revoked certificate evicts the entry.
+        """
+        cache = self.verification_cache
+        report = cache.lookup(fingerprint, domain, now)
+        if report is None:
+            return None
+        if now > leaf.not_after or now < leaf.not_before:
+            cache.invalidate(fingerprint)
+            return None
+        if ocsp_responder is not None:
+            if ocsp_response is None:
+                ocsp_response = ocsp_responder.status(leaf.serial)
+            status = ocsp_responder.verify_response(ocsp_response, now)
+            if status == STATUS_REVOKED:
+                cache.invalidate(fingerprint)
+                raise CertificateError("certificate is revoked")
+        return report
 
     def _verify_nope_proof(self, domain, leaf):
         try:

@@ -175,6 +175,24 @@ class Engine:
                 self._mark_pool_broken()
         return [coset_extend(vec, omega) for vec in eval_vectors]
 
+    # -- generic fan-out -------------------------------------------------------
+
+    def map_chunks(self, fn, chunks):
+        """Apply a picklable ``fn`` to each chunk; pool-parallel if enabled.
+
+        Results come back in chunk order, so any caller fold is identical
+        to the serial one (the verifier's batched Miller loops rely on
+        this: GT multiplication is exact, so slicing only re-associates).
+        """
+        pool = self._get_pool() if len(chunks) > 1 else None
+        if pool is not None:
+            try:
+                futures = [pool.submit(fn, chunk) for chunk in chunks]
+                return [fut.result() for fut in futures]
+            except Exception:
+                self._mark_pool_broken()
+        return [fn(chunk) for chunk in chunks]
+
     # -- setup tables and prepared keys -----------------------------------------
 
     def fixed_base_table(self, base, identity, max_bits, window=None):

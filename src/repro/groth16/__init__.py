@@ -22,12 +22,25 @@ from .simulation import (
     sim_setup,
     sim_verify,
 )
-from .verify import PreparedVerifyingKey, is_valid, prepare, verify
+from .verify import (
+    BatchVerificationError,
+    PreparedVerifyingKey,
+    batch_coefficients,
+    batch_is_valid,
+    is_valid,
+    prepare,
+    verify,
+    verify_batch,
+)
 
 __all__ = [
     "setup",
     "prove",
     "verify",
+    "verify_batch",
+    "batch_is_valid",
+    "batch_coefficients",
+    "BatchVerificationError",
     "is_valid",
     "prepare",
     "PreparedVerifyingKey",

@@ -1,6 +1,16 @@
 """BN254 optimal ate pairing (the Groth16 back-end's bilinear map)."""
 
-from .ate import final_exponentiation, miller_loop, multi_miller, multi_pairing, pairing, pairing_check
+from .ate import (
+    G2Prepared,
+    final_exponentiation,
+    miller_loop,
+    miller_loop_with_lines,
+    multi_miller,
+    multi_pairing,
+    pairing,
+    pairing_check,
+    prepare_g2,
+)
 from .bn254 import ATE_LOOP_COUNT, B2, BN254_R, G2Point, G2_GENERATOR, embed_g1, untwist
 
 __all__ = [
@@ -9,6 +19,9 @@ __all__ = [
     "pairing_check",
     "miller_loop",
     "multi_miller",
+    "miller_loop_with_lines",
+    "prepare_g2",
+    "G2Prepared",
     "final_exponentiation",
     "G2Point",
     "G2_GENERATOR",

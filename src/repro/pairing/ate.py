@@ -10,6 +10,13 @@ The final exponentiation splits into the easy part
 and the hard part ``f^((p^4 - p^2 + 1) / r)`` done by plain square-and-
 multiply.  This is not the fastest known hard part, but it is simple,
 obviously correct, and fast enough for this reproduction's proof sizes.
+
+Fixed G2 points (a verifying key's beta/gamma/delta) can be *prepared*:
+:func:`prepare_g2` runs the Miller loop once on the G2 side only and stores
+the line coefficients, so every later pairing against that point replays
+stored lines instead of re-deriving them — no point doublings, additions,
+or Fq12 inversions on the hot path.  Every pairing entry point below
+accepts a :class:`G2Prepared` wherever it accepts a ``G2Point``.
 """
 
 from ..errors import CurveError
@@ -20,37 +27,121 @@ _P = BN254_P
 _HARD_EXPONENT = (_P ** 4 - _P ** 2 + 1) // BN254_R
 
 
-def _double_pt(pt):
-    x, y = pt
-    lam = x.square() * 3 * (y + y).inverse()
-    x3 = lam.square() - x - x
-    return (x3, lam * (x - x3) - y)
+def _line_coeffs(p1, p2):
+    """Coefficients (a, b) of the line through p1, p2 on E(Fq12).
 
-
-def _add_pt(p1, p2):
+    A sloped line evaluates at t as ``a*x_t - y_t + b``; a vertical line
+    (p2 == -p1) has ``a = None`` and evaluates as ``x_t + b``.
+    """
     x1, y1 = p1
     x2, y2 = p2
-    lam = (y2 - y1) * (x2 - x1).inverse()
-    x3 = lam.square() - x1 - x2
-    return (x3, lam * (x1 - x3) - y1)
+    if x1 != x2:
+        lam = (y2 - y1) * (x2 - x1).inverse()
+    elif y1 == y2:
+        lam = x1.square() * 3 * (y1 + y1).inverse()
+    else:
+        return (None, -x1)
+    return (lam, y1 - lam * x1)
+
+
+def _eval_line(coeffs, t):
+    """Evaluate stored line coefficients at the embedded G1 point t."""
+    a, b = coeffs
+    xt, yt = t
+    if a is None:
+        return xt + b
+    return a * xt - yt + b
 
 
 def _line(p1, p2, t):
     """Evaluate the line through p1, p2 (E(Fq12) points) at t."""
-    x1, y1 = p1
-    x2, y2 = p2
-    xt, yt = t
-    if x1 != x2:
-        lam = (y2 - y1) * (x2 - x1).inverse()
-        return lam * (xt - x1) - (yt - y1)
-    if y1 == y2:
-        lam = x1.square() * 3 * (y1 + y1).inverse()
-        return lam * (xt - x1) - (yt - y1)
-    return xt - x1
+    return _eval_line(_line_coeffs(p1, p2), t)
+
+
+def _double_step(pt):
+    """(line coefficients, doubled point) — the slope is computed once."""
+    x, y = pt
+    lam = x.square() * 3 * (y + y).inverse()
+    x3 = lam.square() - x - x
+    return (lam, y - lam * x), (x3, lam * (x - x3) - y)
+
+
+def _add_step(pt, q):
+    """(line coefficients, pt + q) — the slope is computed once."""
+    x1, y1 = pt
+    x2, y2 = q
+    if x1 == x2 and y1 == y2:
+        return _double_step(pt)
+    lam = (y2 - y1) * (x2 - x1).inverse()
+    x3 = lam.square() - x1 - x2
+    return (lam, y1 - lam * x1), (x3, lam * (x1 - x3) - y1)
+
+
+class G2Prepared:
+    """A G2 point with its Miller-loop line coefficients precomputed.
+
+    ``coeffs`` is the flat list of line coefficients in the exact order the
+    Miller loop consumes them (doubling line each iteration, addition line
+    on set bits, then the two Frobenius tail lines); ``None`` for the point
+    at infinity, whose pairing is trivially one.
+    """
+
+    __slots__ = ("point", "coeffs")
+
+    def __init__(self, point, coeffs):
+        self.point = point
+        self.coeffs = coeffs
+
+    def __repr__(self):
+        return "G2Prepared(%r)" % (self.point,)
+
+
+def prepare_g2(g2_point):
+    """Precompute the Miller-loop lines for a fixed G2 point."""
+    if isinstance(g2_point, G2Prepared):
+        return g2_point
+    q_pt = untwist(g2_point)
+    if q_pt is None:
+        return G2Prepared(g2_point, None)
+    coeffs = []
+    r_pt = q_pt
+    for i in range(ATE_LOOP_COUNT.bit_length() - 2, -1, -1):
+        line, r_pt = _double_step(r_pt)
+        coeffs.append(line)
+        if ATE_LOOP_COUNT & (1 << i):
+            line, r_pt = _add_step(r_pt, q_pt)
+            coeffs.append(line)
+    q1 = (q_pt[0].frobenius(), q_pt[1].frobenius())
+    nq2 = (q1[0].frobenius(), -(q1[1].frobenius()))
+    line, r_pt = _add_step(r_pt, q1)
+    coeffs.append(line)
+    coeffs.append(_line_coeffs(r_pt, nq2))
+    return G2Prepared(g2_point, coeffs)
+
+
+def miller_loop_with_lines(prepared, g1_point):
+    """Miller loop evaluating a :class:`G2Prepared`'s stored lines."""
+    p_pt = embed_g1(g1_point)
+    if prepared.coeffs is None or p_pt is None:
+        return Fq12.one()
+    lines = iter(prepared.coeffs)
+    f = Fq12.one()
+    for i in range(ATE_LOOP_COUNT.bit_length() - 2, -1, -1):
+        f = f.square() * _eval_line(next(lines), p_pt)
+        if ATE_LOOP_COUNT & (1 << i):
+            f = f * _eval_line(next(lines), p_pt)
+    f = f * _eval_line(next(lines), p_pt)
+    f = f * _eval_line(next(lines), p_pt)
+    return f
 
 
 def miller_loop(g2_point, g1_point):
-    """Miller loop for the optimal ate pairing (no final exponentiation)."""
+    """Miller loop for the optimal ate pairing (no final exponentiation).
+
+    ``g2_point`` may be a ``G2Point`` or a :class:`G2Prepared`.
+    """
+    if isinstance(g2_point, G2Prepared):
+        return miller_loop_with_lines(g2_point, g1_point)
     q_pt = untwist(g2_point)
     p_pt = embed_g1(g1_point)
     if q_pt is None or p_pt is None:
@@ -58,16 +149,16 @@ def miller_loop(g2_point, g1_point):
     r_pt = q_pt
     f = Fq12.one()
     for i in range(ATE_LOOP_COUNT.bit_length() - 2, -1, -1):
-        f = f.square() * _line(r_pt, r_pt, p_pt)
-        r_pt = _double_pt(r_pt)
+        line, r_pt = _double_step(r_pt)
+        f = f.square() * _eval_line(line, p_pt)
         if ATE_LOOP_COUNT & (1 << i):
-            f = f * _line(r_pt, q_pt, p_pt)
-            r_pt = _add_pt(r_pt, q_pt)
+            line, r_pt = _add_step(r_pt, q_pt)
+            f = f * _eval_line(line, p_pt)
     # Frobenius endomorphism corrections (optimal ate tail).
     q1 = (q_pt[0].frobenius(), q_pt[1].frobenius())
     nq2 = (q1[0].frobenius(), -(q1[1].frobenius()))
-    f = f * _line(r_pt, q1, p_pt)
-    r_pt = _add_pt(r_pt, q1)
+    line, r_pt = _add_step(r_pt, q1)
+    f = f * _eval_line(line, p_pt)
     f = f * _line(r_pt, nq2, p_pt)
     return f
 
@@ -84,16 +175,62 @@ def final_exponentiation(f):
 
 
 def pairing(g1_point, g2_point):
-    """e(P, Q) for P in G1 (affine Point), Q in G2 (G2Point)."""
+    """e(P, Q) for P in G1 (affine Point), Q in G2 (G2Point or G2Prepared)."""
     return final_exponentiation(miller_loop(g2_point, g1_point))
 
 
 def multi_miller(pairs):
-    """Product of Miller loops over (g1, g2) pairs (no final exp)."""
-    acc = Fq12.one()
+    """Product of Miller loops over (g1, g2) pairs (no final exp).
+
+    Runs all pairs through ONE shared accumulator: the `f.square()` each
+    iteration is paid once for the whole product instead of once per pair
+    (the standard multi-Miller trick).  Squaring and multiplication are
+    exact, so the result is the identical field element a pair-at-a-time
+    product would produce.  G2 entries may be ``G2Point`` or
+    :class:`G2Prepared`, mixed freely.
+    """
+    prepared_states = []  # (embedded g1, line-coefficient iterator)
+    raw_states = []  # [r_pt, q_pt, embedded g1]
     for g1_point, g2_point in pairs:
-        acc = acc * miller_loop(g2_point, g1_point)
-    return acc
+        if isinstance(g2_point, G2Prepared):
+            p_pt = embed_g1(g1_point)
+            if g2_point.coeffs is None or p_pt is None:
+                continue
+            prepared_states.append((p_pt, iter(g2_point.coeffs)))
+        else:
+            q_pt = untwist(g2_point)
+            p_pt = embed_g1(g1_point)
+            if q_pt is None or p_pt is None:
+                continue
+            raw_states.append([q_pt, q_pt, p_pt])
+    f = Fq12.one()
+    if not prepared_states and not raw_states:
+        return f
+    for i in range(ATE_LOOP_COUNT.bit_length() - 2, -1, -1):
+        f = f.square()
+        for p_pt, lines in prepared_states:
+            f = f * _eval_line(next(lines), p_pt)
+        for state in raw_states:
+            line, state[0] = _double_step(state[0])
+            f = f * _eval_line(line, state[2])
+        if ATE_LOOP_COUNT & (1 << i):
+            for p_pt, lines in prepared_states:
+                f = f * _eval_line(next(lines), p_pt)
+            for state in raw_states:
+                line, state[0] = _add_step(state[0], state[1])
+                f = f * _eval_line(line, state[2])
+    # Frobenius endomorphism corrections (optimal ate tail).
+    for p_pt, lines in prepared_states:
+        f = f * _eval_line(next(lines), p_pt)
+        f = f * _eval_line(next(lines), p_pt)
+    for state in raw_states:
+        r_pt, q_pt, p_pt = state
+        q1 = (q_pt[0].frobenius(), q_pt[1].frobenius())
+        nq2 = (q1[0].frobenius(), -(q1[1].frobenius()))
+        line, r_pt = _add_step(r_pt, q1)
+        f = f * _eval_line(line, p_pt)
+        f = f * _line(r_pt, nq2, p_pt)
+    return f
 
 
 def multi_pairing(pairs):
@@ -101,6 +238,14 @@ def multi_pairing(pairs):
     return final_exponentiation(multi_miller(pairs))
 
 
-def pairing_check(pairs):
-    """Whether prod e(P_i, Q_i) == 1.  The Groth16 verification predicate."""
-    return multi_pairing(pairs).is_one()
+def pairing_check(pairs, gt_factor=None):
+    """Whether prod e(P_i, Q_i) * gt_factor == 1.
+
+    The Groth16 verification predicate; ``gt_factor`` lets a caller fold in
+    a cached GT element (e.g. a prepared key's ``e(alpha, beta)``) without
+    paying a fourth Miller loop.
+    """
+    f = multi_pairing(pairs)
+    if gt_factor is not None:
+        f = f * gt_factor
+    return f.is_one()

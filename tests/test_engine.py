@@ -182,6 +182,21 @@ class TestParallelEngine:
         eng = Engine()
         assert get_engine(eng) is eng
 
+    def test_map_chunks_serial_matches_parallel(self):
+        chunks = [[1, 2], [3, 4], [5]]
+        expected = [sum(c) for c in chunks]
+        assert DEFAULT_ENGINE.map_chunks(sum, chunks) == expected
+        parallel = Engine(EngineConfig(workers=2))
+        try:
+            assert parallel.map_chunks(sum, chunks) == expected
+        finally:
+            parallel.close()
+
+    def test_map_chunks_closed_pool_falls_back(self):
+        eng = Engine(EngineConfig(workers=2))
+        eng.close()
+        assert eng.map_chunks(sum, [[1], [2, 3]]) == [1, 5]
+
 
 class TestCaches:
     def test_fixed_base_table_cached_across_engines(self):

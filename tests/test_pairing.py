@@ -8,12 +8,15 @@ from repro.field.extension import Fq2, Fq12
 from repro.pairing import (
     BN254_R,
     G2Point,
+    G2Prepared,
     G2_GENERATOR,
     final_exponentiation,
     miller_loop,
+    miller_loop_with_lines,
     multi_pairing,
     pairing,
     pairing_check,
+    prepare_g2,
 )
 
 G1 = BN254_G1.generator
@@ -99,3 +102,57 @@ class TestPairing:
     def test_final_exponentiation_zero_raises(self):
         with pytest.raises(CurveError):
             final_exponentiation(Fq12.zero())
+
+
+class TestPreparedPairing:
+    """Stored Miller-loop lines must replay to exactly the naive pairing."""
+
+    def test_prepared_miller_loop_matches_naive(self):
+        import secrets
+
+        for _ in range(3):
+            a = secrets.randbelow(BN254_R - 1) + 1
+            b = secrets.randbelow(BN254_R - 1) + 1
+            p, q = a * G1, b * G2
+            prepared = prepare_g2(q)
+            assert miller_loop_with_lines(prepared, p) == miller_loop(q, p)
+
+    def test_prepared_pairing_matches_naive(self):
+        p, q = 7 * G1, 11 * G2
+        assert pairing(p, prepare_g2(q)) == pairing(p, q)
+
+    def test_miller_loop_accepts_prepared(self):
+        prepared = prepare_g2(5 * G2)
+        assert miller_loop(prepared, G1) == miller_loop(5 * G2, G1)
+
+    def test_prepare_is_idempotent(self):
+        prepared = prepare_g2(G2)
+        assert prepare_g2(prepared) is prepared
+
+    def test_prepared_infinity(self):
+        prepared = prepare_g2(G2Point.infinity())
+        assert prepared.coeffs is None
+        assert miller_loop_with_lines(prepared, G1).is_one()
+
+    def test_prepared_with_infinity_g1(self):
+        prepared = prepare_g2(G2)
+        assert miller_loop_with_lines(prepared, BN254_G1.infinity).is_one()
+
+    def test_pairing_check_with_prepared_entries(self):
+        prepared = prepare_g2(G2)
+        assert pairing_check([(2 * G1, prepare_g2(3 * G2)), (-(6 * G1), prepared)])
+        assert not pairing_check([(2 * G1, prepare_g2(3 * G2)), (-(5 * G1), prepared)])
+
+    def test_pairing_check_gt_factor(self):
+        e = pairing(G1, G2)
+        # e(-G1, G2) * e(G1, G2) == 1, folding one side in as a GT factor
+        assert pairing_check([(-G1, G2)], gt_factor=e)
+        assert not pairing_check([(G1, G2)], gt_factor=e)
+
+    def test_bilinearity_through_prepared(self):
+        prepared = prepare_g2(G2)
+        assert pairing(2 * G1, prepared) == pairing(G1, prepared).pow(2)
+
+    def test_repr(self):
+        assert "G2Prepared" in repr(prepare_g2(G2))
+        assert isinstance(prepare_g2(G2), G2Prepared)
