@@ -9,6 +9,7 @@ statements.  Both serialize to exactly 128 bytes so certificate sizes are
 identical.
 """
 
+from ..engine import get_engine
 from ..errors import ProofError
 from ..groth16 import (
     BatchVerificationError,
@@ -44,6 +45,8 @@ class Groth16Backend:
     def setup(self, shape_id, system):
         pk, vk, toxic = setup(system, engine=self.engine)
         del toxic  # the trapdoor is destroyed; see tests for why it must be
+        # pre-compile the CSR form so the first prove() pays no lowering cost
+        get_engine(self.engine).compile(system)
         return StatementKeys(shape_id, pk, prepare(vk))
 
     def prove(self, keys, system):

@@ -284,10 +284,12 @@ class NopeStatement:
         if self.binding_wires is None:
             raise SynthesisError("bind_witness requires a prior synthesize")
         t_wire, n_wire, ts_wire = self.binding_wires
-        p = cs.field.p
-        cs.values[t_wire] = int.from_bytes(tls_key_digest, "big") % p
-        cs.values[n_wire] = int.from_bytes(ca_name_digest, "big") % p
-        cs.values[ts_wire] = ts % p
+        # set_value records the wires in the system's dirty set, so the
+        # engine's eval cache re-evaluates only the three pass-through
+        # constraints on the next proof instead of the whole system
+        cs.set_value(t_wire, int.from_bytes(tls_key_digest, "big"))
+        cs.set_value(n_wire, int.from_bytes(ca_name_digest, "big"))
+        cs.set_value(ts_wire, ts)
 
     # ---- public inputs --------------------------------------------------------
 
@@ -397,6 +399,10 @@ class NopeStatement:
                 witness.dnskey_signatures[level],
                 "dk%d.sig" % level,
             )
+
+        # structure is final: later witness updates go through set_value so
+        # the engine can re-evaluate only the re-bound rows on repeat proofs
+        cs.enable_value_tracking()
 
     # ---- helpers --------------------------------------------------------------
 

@@ -27,7 +27,7 @@ from .fft import (
 )
 from .group import Group, JacobianGroup, OperatorGroup
 from .msm import msm_generic
-from .prepared import PreparedProvingKey
+from .prepared import PreparedProvingKey, compile_system
 from .tables import FixedBaseTable
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "msm_generic",
     "FixedBaseTable",
     "PreparedProvingKey",
+    "compile_system",
     "GENERATOR",
     "ROOT_OF_UNITY",
     "TWO_ADICITY",

@@ -12,9 +12,10 @@ on the host's multiprocessing support.
 class EngineConfig:
     """Tuning knobs for an :class:`repro.engine.Engine`."""
 
-    __slots__ = ("workers", "fb_window", "min_parallel_msm")
+    __slots__ = ("workers", "fb_window", "min_parallel_msm", "min_parallel_rows")
 
-    def __init__(self, workers=1, fb_window=8, min_parallel_msm=64):
+    def __init__(self, workers=1, fb_window=8, min_parallel_msm=64,
+                 min_parallel_rows=1024):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
@@ -22,6 +23,8 @@ class EngineConfig:
         self.fb_window = fb_window
         #: below this many nonzero pairs an MSM is not worth farming out
         self.min_parallel_msm = min_parallel_msm
+        #: below this many constraints a compiled evaluation stays serial
+        self.min_parallel_rows = min_parallel_rows
 
     def __repr__(self):
         return "EngineConfig(workers=%d)" % self.workers

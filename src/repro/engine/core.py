@@ -24,7 +24,12 @@ from .fft import (
 )
 from .group import JacobianGroup, OperatorGroup
 from .msm import msm_generic
-from .prepared import prepare_proving_key
+from .prepared import (
+    compile_system,
+    eval_cache_get,
+    eval_cache_put,
+    prepare_proving_key,
+)
 from .tables import cached_table
 
 _jacobian_groups = {}
@@ -192,6 +197,57 @@ class Engine:
             except Exception:
                 self._mark_pool_broken()
         return [fn(chunk) for chunk in chunks]
+
+    # -- compiled circuits -------------------------------------------------------
+
+    def compile(self, system):
+        """The memoized :class:`~repro.r1cs.compiled.CompiledCircuit` for a
+        synthesized system (keyed by ``structure_hash()``)."""
+        return compile_system(system)
+
+    def evaluate_r1cs(self, system):
+        """Single-pass A/B/C evaluation + satisfaction check via the
+        compiled circuit.
+
+        Returns ``(compiled, (a_evals, b_evals, c_evals))``; raises
+        :class:`~repro.errors.UnsatisfiedError` naming the first failing
+        row, exactly like ``ConstraintSystem.check_satisfied``.
+
+        When the system has value tracking enabled (the synthesize-once /
+        bind-per-proof statement flow), the previous proof's checked evals
+        are cached and only rows reading a re-bound wire are recomputed.
+        Full evaluations slice rows across the worker pool when the system
+        is large enough; chunked results concatenate in row order, so
+        parallel evals are identical to serial ones.
+        """
+        from ..r1cs.compiled import eval_rows
+
+        compiled = self.compile(system)
+        values = system.values
+        dirty = system._dirty_wires  # None = tracking off
+        if dirty is not None:
+            cached = eval_cache_get(system, compiled)
+            if cached is not None:
+                if not dirty:
+                    return compiled, cached
+                evals = compiled.update_evals(cached, values, dirty)
+                system._dirty_wires = set()
+                eval_cache_put(system, compiled, evals)
+                return compiled, evals
+        chunks = 1
+        if (
+            self.config.workers > 1
+            and compiled.num_constraints >= self.config.min_parallel_rows
+        ):
+            chunks = self.config.workers
+        parts = self.map_chunks(
+            eval_rows, compiled.chunk_payloads(values, chunks)
+        )
+        evals = compiled.merge_chunks(parts)
+        if dirty is not None:
+            system._dirty_wires = set()
+            eval_cache_put(system, compiled, evals)
+        return compiled, evals
 
     # -- setup tables and prepared keys -----------------------------------------
 

@@ -1,4 +1,4 @@
-"""Prepared proving keys: per-key precomputation the prover reuses.
+"""Prepared proving keys and compiled circuits: per-statement precomputation.
 
 A Groth16 proving key's CRS queries are mostly sparse — for a typical NOPE
 statement the bulk of ``b_query`` entries are the identity (variables that
@@ -11,11 +11,52 @@ and re-unwrapping Point objects.
 Preparation is memoized per proving-key object (weakly, so keys can be
 garbage collected); one ``StatementKeys`` therefore pays the walk once no
 matter how many proofs it produces.
+
+The same pattern covers the field side: :func:`compile_system` lowers a
+synthesized ``ConstraintSystem`` into a
+:class:`~repro.r1cs.compiled.CompiledCircuit` (flat CSR matrices), memoized
+by ``structure_hash()`` so every system with the same structure — in
+particular the synthesize-once / bind-per-proof statement flow — shares one
+compiled artifact.  :func:`eval_cache_get`/:func:`eval_cache_put` hold the
+last checked A/B/C evaluations per *system* (weakly), which the engine
+combines with the system's dirty-wire set to re-evaluate only re-bound rows
+on repeat proofs.
 """
 
 import weakref
 
 _PREPARED = weakref.WeakKeyDictionary()
+
+#: structure-hash -> CompiledCircuit (structures per process are few)
+_COMPILED = {}
+
+#: system -> (CompiledCircuit, (a_evals, b_evals, c_evals))
+_EVAL_CACHE = weakref.WeakKeyDictionary()
+
+
+def compile_system(system):
+    """The memoized CSR lowering of ``system``, keyed by structure hash."""
+    key = (system.structure_hash(), system.field.p)
+    compiled = _COMPILED.get(key)
+    if compiled is None:
+        from ..r1cs.compiled import CompiledCircuit
+
+        compiled = CompiledCircuit.from_system(system)
+        _COMPILED[key] = compiled
+    return compiled
+
+
+def eval_cache_get(system, compiled):
+    """Cached evals for ``system``, or None if absent or from another
+    structure (the compiled-object identity guards staleness)."""
+    entry = _EVAL_CACHE.get(system)
+    if entry is not None and entry[0] is compiled:
+        return entry[1]
+    return None
+
+
+def eval_cache_put(system, compiled, evals):
+    _EVAL_CACHE[system] = (compiled, evals)
 
 
 class SparseQuery:

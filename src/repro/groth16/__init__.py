@@ -2,7 +2,7 @@
 
 from .fft import coset_fft, coset_ifft, domain_root, fft, ifft
 from .keys import Proof, ProvingKey, ToxicWaste, VerifyingKey
-from .prove import compute_h_coefficients, prove
+from .prove import compute_h_coefficients, evaluate_constraints, prove
 from .rerandomize import proof_in_groups, rerandomize
 from .serialize import (
     PROOF_SIZE,
@@ -50,6 +50,7 @@ __all__ = [
     "ToxicWaste",
     "forge_with_toxic_waste",
     "evaluate_qap_at",
+    "evaluate_constraints",
     "compute_h_coefficients",
     "rerandomize",
     "proof_in_groups",

@@ -8,6 +8,15 @@ All group and polynomial kernels flow through :mod:`repro.engine`: the
 generic Pippenger MSM (shared between G1 and G2), cached-twiddle FFTs, and
 the memoized prepared proving key that pre-extracts each CRS query's
 non-identity entries.
+
+The field side is single-pass: each constraint's A/B/C linear combinations
+are evaluated exactly once per proof, with the satisfaction check folded
+into the same pass (the legacy flow evaluated everything twice — once in
+``check_satisfied`` and again here).  By default the evaluation runs on the
+engine's compiled circuit (flat CSR matrices, memoized by structure hash,
+optionally pool-parallel, and incremental across witness re-binds); pass
+``use_compiled=False`` to take the LC-walk path, which produces the same
+evaluations and therefore byte-identical proofs.
 """
 
 import secrets
@@ -15,6 +24,7 @@ import secrets
 from ..ec.curves import BN254_R
 from ..engine import get_engine
 from ..errors import ProvingError
+from ..r1cs.system import unsatisfied_error
 from .fft import GENERATOR, domain_root
 from .keys import Proof
 from .setup import _next_pow2
@@ -22,20 +32,55 @@ from .setup import _next_pow2
 R = BN254_R
 
 
-def compute_h_coefficients(structure, engine=None):
-    """Coefficients of h(X) = (A(X)B(X) - C(X)) / Z(X) on the QAP domain."""
+def evaluate_constraints(system):
+    """One LC-walk pass over all constraints: evals + satisfaction check.
+
+    Returns ``(a_evals, b_evals, c_evals)`` (length ``m`` each); raises
+    UnsatisfiedError naming the first failing constraint, exactly like
+    ``check_satisfied``.  This is the uncompiled reference path — the
+    compiled CSR evaluator must agree with it bit-for-bit.
+    """
+    p = system.field.p
+    values = system.values
+    a_evals = []
+    b_evals = []
+    c_evals = []
+    for i, (a, b, c, label) in enumerate(system.constraints):
+        av = a.evaluate(values, p)
+        bv = b.evaluate(values, p)
+        cv = c.evaluate(values, p)
+        if av * bv % p != cv:
+            raise unsatisfied_error(i, label, av, bv, cv)
+        a_evals.append(av)
+        b_evals.append(bv)
+        c_evals.append(cv)
+    return a_evals, b_evals, c_evals
+
+
+def compute_h_coefficients(structure, engine=None, evals=None):
+    """Coefficients of h(X) = (A(X)B(X) - C(X)) / Z(X) on the QAP domain.
+
+    ``evals`` supplies precomputed ``(a_evals, b_evals, c_evals)`` (length
+    ``m``) from the single evaluation pass; without it, the constraints are
+    walked here (kept for direct callers of this function).
+    """
     eng = get_engine(engine)
     m = structure.constraint_count
     d = _next_pow2(max(m, 2))
     omega = domain_root(d)
-    values = structure.values
     a_evals = [0] * d
     b_evals = [0] * d
     c_evals = [0] * d
-    for j, (a, b, c, _) in enumerate(structure.constraints):
-        a_evals[j] = a.evaluate(values, R)
-        b_evals[j] = b.evaluate(values, R)
-        c_evals[j] = c.evaluate(values, R)
+    if evals is None:
+        values = structure.values
+        for j, (a, b, c, _) in enumerate(structure.constraints):
+            a_evals[j] = a.evaluate(values, R)
+            b_evals[j] = b.evaluate(values, R)
+            c_evals[j] = c.evaluate(values, R)
+    else:
+        a_evals[:m] = evals[0]
+        b_evals[:m] = evals[1]
+        c_evals[:m] = evals[2]
     a_coset, b_coset, c_coset = eng.coset_extend_many(
         [a_evals, b_evals, c_evals], omega
     )
@@ -53,16 +98,18 @@ def compute_h_coefficients(structure, engine=None):
     return h_coeffs[: d - 1]
 
 
-def prove(pk, system, rng=None, engine=None):
+def prove(pk, system, rng=None, engine=None, use_compiled=True):
     """Produce a proof that ``system``'s assignment satisfies its R1CS.
 
     ``system`` is a fully synthesized ConstraintSystem (witness included).
-    ``engine`` selects the compute engine (serial default; a
-    ``workers=N`` engine produces byte-identical proofs faster).
+    ``engine`` selects the compute engine (serial default; a ``workers=N``
+    engine produces byte-identical proofs faster).  ``use_compiled``
+    selects the CSR evaluation path (default) or the legacy LC walk; both
+    evaluate every constraint at most once and yield identical proofs for
+    the same randomness.
     """
     if system.counting_only:
         raise ProvingError("cannot prove a counting-only system")
-    system.check_satisfied()
     eng = get_engine(engine)
     prep = eng.prepare(pk)
     curve = prep.curve
@@ -70,10 +117,14 @@ def prove(pk, system, rng=None, engine=None):
     num_vars = len(z)
     if num_vars != len(pk.a_query):
         raise ProvingError("proving key does not match this statement")
+    if use_compiled:
+        _, evals = eng.evaluate_r1cs(system)
+    else:
+        evals = evaluate_constraints(system)
     rand = rng or (lambda: secrets.randbelow(R))
     r = rand()
     s = rand()
-    h_coeffs = compute_h_coefficients(system, eng)
+    h_coeffs = compute_h_coefficients(system, eng, evals=evals)
 
     a_bases, a_sc = prep.a.gather(z)
     g1_a = eng.msm_affine_point(curve, a_bases, a_sc)

@@ -1,6 +1,14 @@
 """Rank-one constraint systems: the compilation target for NOPE statements."""
 
+from .compiled import CompiledCircuit, CsrMatrix
 from .lc import ONE_WIRE, LinearCombination
-from .system import ConstraintSystem
+from .system import ConstraintSystem, unsatisfied_error
 
-__all__ = ["LinearCombination", "ConstraintSystem", "ONE_WIRE"]
+__all__ = [
+    "LinearCombination",
+    "ConstraintSystem",
+    "CompiledCircuit",
+    "CsrMatrix",
+    "ONE_WIRE",
+    "unsatisfied_error",
+]

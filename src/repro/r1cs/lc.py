@@ -67,16 +67,32 @@ class LinearCombination:
     __radd__ = __add__
 
     def __sub__(self, other):
+        # single-pass dict merge: no intermediate `other * -1` allocation
+        # (subtraction is hot in gadget synthesis — every enforce_equal)
         other = self._coerce(other)
         if other is None:
             return NotImplemented
-        return self + (other * -1)
+        terms = dict(self.terms)
+        for wire, coeff in other.terms.items():
+            new = terms.get(wire, 0) - coeff
+            if new:
+                terms[wire] = new
+            else:
+                terms.pop(wire, None)
+        return LinearCombination(terms)
 
     def __rsub__(self, other):
         other = self._coerce(other)
         if other is None:
             return NotImplemented
-        return other - self
+        terms = dict(other.terms)
+        for wire, coeff in self.terms.items():
+            new = terms.get(wire, 0) - coeff
+            if new:
+                terms[wire] = new
+            else:
+                terms.pop(wire, None)
+        return LinearCombination(terms)
 
     def __mul__(self, scalar):
         if not isinstance(scalar, int):

@@ -26,6 +26,19 @@ from ..errors import SynthesisError, UnsatisfiedError
 from .lc import ONE_WIRE, LinearCombination
 
 
+def unsatisfied_error(index, label, av, bv, cv):
+    """The canonical UnsatisfiedError for one failing constraint.
+
+    Shared by :meth:`ConstraintSystem.check_satisfied`, the legacy prover
+    evaluation pass, and the compiled-circuit evaluator so all three report
+    identical indices and labels.
+    """
+    return UnsatisfiedError(
+        "constraint %d (%s): %d * %d != %d"
+        % (index, label or "unlabeled", av, bv, cv)
+    )
+
+
 class ConstraintSystem:
     """A growable R1CS instance over a prime field, with assignment."""
 
@@ -38,6 +51,11 @@ class ConstraintSystem:
         self.constraints = []
         self.constraint_count = 0
         self._private_started = False
+        #: cached structure_hash(); invalidated on any structural change
+        self._structure_hash = None
+        #: None = value tracking off; a set = wires re-bound since the last
+        #: evaluation (see set_value / enable_value_tracking)
+        self._dirty_wires = None
         #: the constant-one wire as an LC, for convenience
         self.one = LinearCombination.single(ONE_WIRE)
 
@@ -66,6 +84,8 @@ class ConstraintSystem:
         wire = len(self.values)
         self.values.append(value % self.field.p)
         self.labels.append(label or "w%d" % wire)
+        self._structure_hash = None
+        self._dirty_wires = None  # structural change: cached evals are void
         return LinearCombination.single(wire)
 
     def constant(self, value):
@@ -79,6 +99,8 @@ class ConstraintSystem:
         b = self._as_lc(b)
         c = self._as_lc(c)
         self.constraint_count += 1
+        self._structure_hash = None
+        self._dirty_wires = None  # structural change: cached evals are void
         if not self.counting_only:
             self.constraints.append((a, b, c, label))
 
@@ -120,6 +142,27 @@ class ConstraintSystem:
         self.enforce(a, out, self.one, label)
         return out
 
+    # -- per-proof value re-binding ---------------------------------------------
+
+    def enable_value_tracking(self):
+        """Start recording which wires :meth:`set_value` overwrites.
+
+        The synthesize-once / bind-per-proof flow calls this after
+        synthesis; the engine's compiled-circuit evaluator then re-uses the
+        previous proof's A/B/C evaluations, recomputing only the rows that
+        read a re-bound wire.  Any structural change (``alloc``,
+        ``enforce``) switches tracking back off, which also voids cached
+        evaluations.  While tracking is on, values must only be changed
+        through :meth:`set_value`.
+        """
+        self._dirty_wires = set()
+
+    def set_value(self, wire, value):
+        """Overwrite one wire's assigned value (the structure is unchanged)."""
+        self.values[wire] = value % self.field.p
+        if self._dirty_wires is not None:
+            self._dirty_wires.add(wire)
+
     # -- evaluation ------------------------------------------------------------
 
     def lc_value(self, lc):
@@ -153,10 +196,7 @@ class ConstraintSystem:
             bv = b.evaluate(self.values, p)
             cv = c.evaluate(self.values, p)
             if av * bv % p != cv:
-                raise UnsatisfiedError(
-                    "constraint %d (%s): %d * %d != %d"
-                    % (i, label or "unlabeled", av, bv, cv)
-                )
+                raise unsatisfied_error(i, label, av, bv, cv)
 
     # -- export ------------------------------------------------------------------
 
@@ -177,9 +217,13 @@ class ConstraintSystem:
 
         Two synthesis runs with different inputs must produce the same hash;
         this is the input-independence property Groth16 setup relies on.
+        The digest is cached (it keys the engine's compiled-circuit memo)
+        and recomputed only after a structural change.
         """
         if self.counting_only:
             raise SynthesisError("no structure in counting mode")
+        if self._structure_hash is not None:
+            return self._structure_hash
         h = hashlib.sha256()
         h.update(b"%d,%d,%d;" % (self.num_variables, self.num_public, self.constraint_count))
         for a, b, c, _ in self.constraints:
@@ -188,4 +232,5 @@ class ConstraintSystem:
                     h.update(b"%d:%d," % (wire, coeff % self.field.p))
                 h.update(b"|")
             h.update(b";")
-        return h.hexdigest()
+        self._structure_hash = h.hexdigest()
+        return self._structure_hash

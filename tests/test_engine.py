@@ -223,6 +223,121 @@ class TestCaches:
             assert (pk.a_query[i].x, pk.a_query[i].y) == base
 
 
+def _bindable_circuit(m=10):
+    """A pass-through-bound public wire plus a chain of muls, with value
+    tracking enabled (the statement flow in miniature)."""
+    cs = ConstraintSystem(PrimeField(BN254_R))
+    t = cs.alloc_public(0, "T")
+    t_wire = next(iter(t.terms))
+    cs.enforce(t, cs.one, t, "bind")
+    acc = cs.alloc(3)
+    cs.enforce_equal(acc, cs.constant(3))
+    for _ in range(m):
+        acc = cs.mul(acc, acc + 1)
+    cs.enable_value_tracking()
+    return cs, t_wire
+
+
+class TestCompiledEngine:
+    def test_compile_memoized_across_same_structure_systems(self):
+        cs1 = _chain_circuit(6)
+        cs2 = _chain_circuit(6)
+        compiled = DEFAULT_ENGINE.compile(cs1)
+        assert DEFAULT_ENGINE.compile(cs2) is compiled
+        assert Engine().compile(cs1) is compiled  # memo is engine-independent
+
+    def test_compile_hit_across_two_prove_calls(self, monkeypatch):
+        from repro.r1cs import CompiledCircuit
+
+        cs = _chain_circuit(6)
+        pk, vk, _ = setup(cs)
+        compiled = DEFAULT_ENGINE.compile(cs)
+        calls = []
+        orig_init = CompiledCircuit.__init__
+
+        def counting_init(self, system):
+            calls.append(system)
+            orig_init(self, system)
+
+        monkeypatch.setattr(CompiledCircuit, "__init__", counting_init)
+        p1 = prove(pk, cs)
+        p2 = prove(pk, cs)
+        assert not calls  # both proofs reused the memoized lowering
+        assert DEFAULT_ENGINE.compile(cs) is compiled
+        verify(prepare(vk), p1, cs.public_inputs())
+        verify(prepare(vk), p2, cs.public_inputs())
+
+    def test_parallel_evaluate_matches_serial(self):
+        cs = _chain_circuit(48)
+        parallel = Engine(EngineConfig(workers=2, min_parallel_rows=1))
+        try:
+            _, serial_evals = DEFAULT_ENGINE.evaluate_r1cs(cs)
+            _, parallel_evals = parallel.evaluate_r1cs(cs)
+            assert serial_evals == parallel_evals
+        finally:
+            parallel.close()
+
+    def test_parallel_unsatisfied_raises_without_breaking_pool(self):
+        from repro.errors import UnsatisfiedError
+
+        cs = _chain_circuit(48)
+        cs.values[20] = 123  # corrupt a mul output mid-chain
+        parallel = Engine(EngineConfig(workers=2, min_parallel_rows=1))
+        try:
+            with pytest.raises(UnsatisfiedError):
+                parallel.evaluate_r1cs(cs)
+            # workers report failures as data, not exceptions, so the
+            # pool stays usable for the next evaluation
+            assert not parallel._pool_broken
+            cs.values[20] = _chain_circuit(48).values[20]
+            parallel.evaluate_r1cs(cs)
+        finally:
+            parallel.close()
+
+    def test_eval_cache_hit_when_nothing_rebound(self):
+        cs, _ = _bindable_circuit()
+        _, e1 = DEFAULT_ENGINE.evaluate_r1cs(cs)
+        _, e2 = DEFAULT_ENGINE.evaluate_r1cs(cs)
+        assert e1 is e2  # no dirty wires: the cached evals come back as-is
+
+    def test_incremental_rebind_matches_fresh_evaluation(self):
+        from repro.r1cs import CompiledCircuit
+
+        cs, t_wire = _bindable_circuit()
+        DEFAULT_ENGINE.evaluate_r1cs(cs)  # seed the eval cache
+        cs.set_value(t_wire, 777)
+        _, incremental = DEFAULT_ENGINE.evaluate_r1cs(cs)
+        fresh = CompiledCircuit.from_system(cs).evaluate(cs.values)
+        assert tuple(incremental) == tuple(fresh)
+        assert cs._dirty_wires == set()  # consumed by the update
+
+    def test_incremental_rebind_uses_update_path(self, monkeypatch):
+        from repro.r1cs import CompiledCircuit
+
+        cs, t_wire = _bindable_circuit()
+        DEFAULT_ENGINE.evaluate_r1cs(cs)
+        calls = []
+        orig = CompiledCircuit.update_evals
+
+        def counting(self, evals, values, changed):
+            calls.append(set(changed))
+            return orig(self, evals, values, changed)
+
+        monkeypatch.setattr(CompiledCircuit, "update_evals", counting)
+        cs.set_value(t_wire, 42)
+        DEFAULT_ENGINE.evaluate_r1cs(cs)
+        assert calls == [{t_wire}]
+
+    def test_structural_change_after_tracking_forces_full_eval(self):
+        cs, t_wire = _bindable_circuit()
+        _, e1 = DEFAULT_ENGINE.evaluate_r1cs(cs)
+        x = cs.alloc(4)
+        cs.mul(x, x)  # new structure: new compiled circuit, cache miss
+        cs.enable_value_tracking()
+        _, e2 = DEFAULT_ENGINE.evaluate_r1cs(cs)
+        assert len(e2[0]) == len(e1[0]) + 1
+
+
 class TestProverSynthesisSplit:
     @pytest.fixture(scope="class")
     def world(self):
@@ -248,6 +363,17 @@ class TestProverSynthesisSplit:
         p2, ts2 = prover.generate_proof(b"tls-key-2", b"ca", ts=1200)
         assert prover.synthesis_count == 1
         assert p1 != p2  # different T/TS bind into different proofs
+
+    def test_bind_witness_tracks_rebound_wires(self, world):
+        prover = world["prover"]
+        cs = prover._structure_cs()
+        assert cs._dirty_wires is not None  # synthesize enabled tracking
+        cs._dirty_wires.clear()
+        prover.statement.bind_witness(cs, b"\x01" * 8, b"\x02" * 8, 900)
+        # exactly the three pass-through wires (T, N, TS) were re-bound,
+        # so the engine's incremental path re-evaluates three rows
+        assert cs._dirty_wires == set(prover.statement.binding_wires)
+        assert len(cs._dirty_wires) == 3
 
     def test_rebound_public_inputs_verify(self, world):
         prover = world["prover"]

@@ -147,6 +147,63 @@ class TestProveVerify:
         verify(vk, proof, cs.public_inputs())
 
 
+def _fixed_rng():
+    vals = [123456789, 987654321]
+    return lambda: vals.pop(0)
+
+
+class TestCompiledProver:
+    def test_proofs_byte_identical_across_evaluation_paths(self, keys):
+        from repro.engine import Engine, EngineConfig
+
+        cs, pk, vk, _ = keys
+        parallel = Engine(EngineConfig(workers=2, min_parallel_rows=1))
+        try:
+            p_legacy = prove(pk, cs, rng=_fixed_rng(), use_compiled=False)
+            p_compiled = prove(pk, cs, rng=_fixed_rng())
+            p_parallel = prove(pk, cs, rng=_fixed_rng(), engine=parallel)
+            assert (
+                proof_to_bytes(p_legacy)
+                == proof_to_bytes(p_compiled)
+                == proof_to_bytes(p_parallel)
+            )
+            verify(prepare(vk), p_compiled, cs.public_inputs())
+        finally:
+            parallel.close()
+
+    def test_each_constraint_evaluated_exactly_once(self, keys, monkeypatch):
+        from repro.r1cs import LinearCombination
+
+        cs, pk, _, _ = keys
+        calls = [0]
+        orig = LinearCombination.evaluate
+
+        def counting(self, values, modulus):
+            calls[0] += 1
+            return orig(self, values, modulus)
+
+        monkeypatch.setattr(LinearCombination, "evaluate", counting)
+        # legacy path: one walk per LC — 3 per constraint, no double pass
+        prove(pk, cs, use_compiled=False)
+        assert calls[0] == 3 * cs.num_constraints
+        # compiled path: the CSR evaluator never touches the LCs at all
+        calls[0] = 0
+        prove(pk, cs)
+        assert calls[0] == 0
+
+    def test_unsatisfied_error_identical_across_paths(self, keys):
+        from repro.errors import UnsatisfiedError
+
+        _, pk, _, _ = keys
+        with pytest.raises(UnsatisfiedError) as e_check:
+            cubic_system(3, x_val=999).check_satisfied()
+        with pytest.raises(UnsatisfiedError) as e_legacy:
+            prove(pk, cubic_system(3, x_val=999), use_compiled=False)
+        with pytest.raises(UnsatisfiedError) as e_compiled:
+            prove(pk, cubic_system(3, x_val=999))
+        assert str(e_check.value) == str(e_legacy.value) == str(e_compiled.value)
+
+
 class TestMalleability:
     def test_rerandomized_proof_verifies(self, keys):
         cs, pk, vk, _ = keys

@@ -1,17 +1,30 @@
-"""Tests for the R1CS framework (linear combinations, constraint system)."""
+"""Tests for the R1CS framework (linear combinations, constraint system,
+compiled CSR circuits)."""
+
+import random
 
 import pytest
 
 from repro.ec.curves import BN254_R
 from repro.errors import SynthesisError, UnsatisfiedError
 from repro.field import PrimeField
-from repro.r1cs import ConstraintSystem, LinearCombination
+from repro.r1cs import CompiledCircuit, ConstraintSystem, LinearCombination
 
 FR = PrimeField(BN254_R)
 
 
 def make_cs(**kw):
     return ConstraintSystem(FR, **kw)
+
+
+def lc_walk(cs):
+    """Reference A/B/C evaluations straight off the LinearCombinations."""
+    p = cs.field.p
+    return (
+        [a.evaluate(cs.values, p) for a, _, _, _ in cs.constraints],
+        [b.evaluate(cs.values, p) for _, b, _, _ in cs.constraints],
+        [c.evaluate(cs.values, p) for _, _, c, _ in cs.constraints],
+    )
 
 
 class TestLinearCombination:
@@ -59,6 +72,22 @@ class TestLinearCombination:
     def test_reduced(self):
         lc = LinearCombination({1: -1})
         assert lc.reduced(97).terms == {1: 96}
+
+    def test_sub_merges_in_one_pass(self):
+        a = LinearCombination({1: 5, 2: 3})
+        b = LinearCombination({2: 3, 3: 4})
+        assert (a - b).terms == {1: 5, 3: -4}
+
+    def test_sub_int_and_rsub_agree_with_add_neg(self):
+        a = LinearCombination({1: 5, 0: 2})
+        assert (a - 2).terms == {1: 5}
+        assert (2 - a).terms == (LinearCombination.constant(2) + -a).terms
+
+    def test_sub_cancellation_drops_zero_terms(self):
+        a = LinearCombination({1: 7}) + LinearCombination({2: 1})
+        b = LinearCombination({2: 1})
+        assert (a - b).terms == {1: 7}
+        assert 2 not in (a - b).terms
 
 
 class TestConstraintSystem:
@@ -169,3 +198,176 @@ class TestConstraintSystem:
         cs = make_cs()
         with pytest.raises(SynthesisError):
             cs.enforce("bogus", cs.one, cs.one)
+
+
+class TestStructureHashCache:
+    def _circuit(self):
+        cs = make_cs()
+        x = cs.alloc(2)
+        cs.mul(x, x)
+        return cs, x
+
+    def test_hash_is_cached_between_structural_changes(self):
+        cs, _ = self._circuit()
+        assert cs.structure_hash() is cs.structure_hash()
+
+    def test_enforce_invalidates_cache(self):
+        cs, x = self._circuit()
+        h1 = cs.structure_hash()
+        cs.enforce_equal(x, cs.constant(2))
+        assert cs.structure_hash() != h1
+
+    def test_alloc_invalidates_cache(self):
+        cs, _ = self._circuit()
+        h1 = cs.structure_hash()
+        cs.alloc(7)
+        assert cs.structure_hash() != h1
+
+
+class TestValueTracking:
+    def test_set_value_records_dirty_wires(self):
+        cs = make_cs()
+        x = cs.alloc(3)
+        wire = next(iter(x.terms))
+        cs.enable_value_tracking()
+        assert cs._dirty_wires == set()
+        cs.set_value(wire, 9)
+        assert cs._dirty_wires == {wire}
+        assert cs.lc_value(x) == 9
+
+    def test_set_value_reduces_mod_p(self):
+        cs = make_cs()
+        x = cs.alloc(3)
+        cs.set_value(next(iter(x.terms)), BN254_R + 5)
+        assert cs.lc_value(x) == 5
+
+    def test_structural_change_disables_tracking(self):
+        cs = make_cs()
+        x = cs.alloc(3)
+        cs.enable_value_tracking()
+        cs.mul(x, x)  # alloc + enforce: cached evals would be stale
+        assert cs._dirty_wires is None
+
+
+class TestCompiledCircuit:
+    def test_randomized_parity_with_lc_walk(self):
+        rnd = random.Random(0xC0DE)
+        for _ in range(5):
+            cs = make_cs()
+            wires = [cs.alloc(rnd.randrange(BN254_R)) for _ in range(8)]
+            for _ in range(40):
+                a = (
+                    wires[rnd.randrange(8)] * rnd.randrange(-5, 6)
+                    + wires[rnd.randrange(8)] * (1 << rnd.randrange(200))
+                    + rnd.randrange(100)
+                )
+                b = wires[rnd.randrange(8)] - wires[rnd.randrange(8)] + 1
+                cs.mul(a, b)
+            compiled = CompiledCircuit.from_system(cs)
+            assert compiled.evaluate(cs.values) == lc_walk(cs)
+
+    def test_reducible_and_vanishing_coefficients(self):
+        cs = make_cs()
+        x = cs.alloc(7)
+        y = cs.alloc(11)
+        wx = next(iter(x.terms))
+        wy = next(iter(y.terms))
+        # p + 1 reduces to 1; 2p reduces to 0 and must be dropped entirely
+        a = LinearCombination({wx: BN254_R + 1, wy: 2 * BN254_R})
+        cs.enforce(a, cs.one, x, "reduce")
+        compiled = CompiledCircuit.from_system(cs)
+        assert compiled.a.nnz == 1
+        assert compiled.a.coeffs == [1]
+        assert compiled.a.wires == [wx]
+        assert compiled.evaluate(cs.values) == lc_walk(cs)
+
+    def test_empty_lc_rows(self):
+        cs = make_cs()
+        x = cs.alloc(0)
+        cs.enforce(x, cs.one, cs.constant(0), "zero wire")
+        cs.enforce(cs.constant(0), cs.constant(0), cs.constant(0), "all empty")
+        compiled = CompiledCircuit.from_system(cs)
+        assert compiled.evaluate(cs.values) == ([0, 0], [1, 0], [0, 0])
+        assert compiled.evaluate(cs.values) == lc_walk(cs)
+
+    def test_negative_coefficients_both_representations(self):
+        cs = make_cs()
+        x = cs.alloc(5)
+        y = cs.alloc(3)
+        # -1 (gather-subtract), small negative (signed representative),
+        # and a large negative that stays canonical
+        cs.enforce(x - y, cs.one, cs.constant(2), "minus one")
+        cs.enforce(
+            x * -(1 << 40) + (5 << 40), cs.one, cs.constant(0), "small neg"
+        )
+        cs.enforce(
+            x * -(1 << 100) + (5 << 100), cs.one, cs.constant(0), "big neg"
+        )
+        cs.check_satisfied()
+        compiled = CompiledCircuit.from_system(cs)
+        assert compiled.evaluate(cs.values) == lc_walk(cs)
+
+    def test_csr_invariants(self):
+        cs = make_cs()
+        v = cs.alloc(9)
+        for i in range(10):
+            v = cs.mul(v + i, v - i)
+        for mat in (CompiledCircuit.from_system(cs).a,
+                    CompiledCircuit.from_system(cs).b,
+                    CompiledCircuit.from_system(cs).c):
+            assert mat.row_ptr[0] == 0
+            assert mat.row_ptr == sorted(mat.row_ptr)
+            assert mat.row_ptr[-1] == len(mat.wires) == len(mat.coeffs)
+            assert len(mat.row_ptr) == cs.num_constraints + 1
+            assert all(0 < c < BN254_R for c in mat.coeffs)
+
+    def test_unsatisfied_message_matches_check_satisfied(self):
+        cs = make_cs()
+        x = cs.alloc(6)
+        out = cs.mul(x, x, "sq")
+        cs.enforce(x, x, cs.constant(36), "sq fixed")
+        compiled = CompiledCircuit.from_system(cs)
+        good = compiled.evaluate(cs.values)
+        out_wire = next(iter(out.terms))
+        cs.values[out_wire] = 99
+        with pytest.raises(UnsatisfiedError) as e_ref:
+            cs.check_satisfied()
+        with pytest.raises(UnsatisfiedError) as e_full:
+            compiled.evaluate(cs.values)
+        with pytest.raises(UnsatisfiedError) as e_inc:
+            compiled.update_evals(good, cs.values, {out_wire})
+        assert str(e_ref.value) == str(e_full.value) == str(e_inc.value)
+        assert "sq" in str(e_ref.value)
+
+    def test_rows_touching(self):
+        cs = make_cs()
+        x = cs.alloc(4)
+        y = cs.alloc(5)
+        cs.mul(x, x, "xx")       # row 0
+        cs.mul(y, y, "yy")       # row 1
+        cs.mul(x, y, "xy")       # row 2
+        compiled = CompiledCircuit.from_system(cs)
+        x_wire = next(iter(x.terms))
+        y_wire = next(iter(y.terms))
+        assert compiled.rows_touching([x_wire]) == [0, 2]
+        assert compiled.rows_touching([y_wire]) == [1, 2]
+        assert compiled.rows_touching([x_wire, y_wire]) == [0, 1, 2]
+        assert compiled.rows_touching([999999]) == []
+
+    def test_update_evals_matches_full_evaluation(self):
+        cs = make_cs()
+        t = cs.alloc_public(0, "T")
+        t_wire = next(iter(t.terms))
+        cs.enforce(t, cs.one, t, "bind")
+        acc = cs.alloc(3)
+        cs.enforce_equal(acc, cs.constant(3))
+        for _ in range(10):
+            acc = cs.mul(acc, acc + 1)
+        compiled = CompiledCircuit.from_system(cs)
+        before = compiled.evaluate(cs.values)
+        cs.values[t_wire] = 777
+        after = compiled.update_evals(before, cs.values, {t_wire})
+        assert after == compiled.evaluate(cs.values)
+        # only the bind row changed; the inputs are untouched
+        assert before[0][1:] == after[0][1:]
+        assert after[0][0] == after[2][0] == 777
