@@ -90,3 +90,41 @@ def test_scan_cost_per_byte(benchmark):
         "extraction as a separate multiplication)" % per_byte
     )
     assert per_byte < 6
+
+
+def test_gadget_incidence_stats(benchmark):
+    """Audit-grade incidence per registry gadget, next to the raw counts.
+
+    ``bilinear`` rows are where soundness lives (a wire only affine rows
+    touch is a hint, not a commitment); ``touch`` is rows-per-wire — how
+    entangled the gadget's wires are, which tracks both audit cost and the
+    density the prover's CSR evaluation sees.
+    """
+    from repro.lint import GADGET_AUDITS, build_gadget_system, incidence_stats
+
+    all_stats = {}
+
+    def run_all():
+        for name in GADGET_AUDITS:
+            all_stats[name] = incidence_stats(build_gadget_system(name))
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print(
+        "\n  %-28s %8s %8s %9s %8s %6s" % (
+            "gadget", "wires", "constrs", "bilinear", "linear", "touch"
+        )
+    )
+    for name, s in all_stats.items():
+        print(
+            "  %-28s %8d %8d %9d %8d %6.1f"
+            % (
+                name,
+                s["wires"],
+                s["constraints"],
+                s["bilinear_rows"],
+                s["linear_rows"],
+                s["avg_rows_per_wire"],
+            )
+        )
+        assert s["bilinear_rows"] + s["linear_rows"] == s["constraints"]
+        assert s["wires_used"] <= s["wires"]

@@ -407,20 +407,14 @@ class NopeStatement:
     # ---- helpers --------------------------------------------------------------
 
     def _alloc_public_bytes(self, cs, data, capacity, label):
+        # public byte wires are not range-checked in-circuit: the verifier
+        # derives them from actual bytes (domain wire form, root-key wire),
+        # so they are in [0, 255] by construction on the only honest path
         padded = _pad(data, capacity, label)
         lcs = [
             cs.alloc_public(b, "%s[%d]" % (label, i)) for i, b in enumerate(padded)
         ]
-        buf = _Bytes(lcs, list(padded))
-        self._public_byte_rc = getattr(self, "_public_byte_rc", [])
-        self._public_byte_rc.append(buf)
-        return buf
-
-    def _finish_public(self, cs):
-        for buf in getattr(self, "_public_byte_rc", []):
-            for i, lc in enumerate(buf.lcs):
-                bit_decompose(cs, lc, 8, "pubrc")
-        self._public_byte_rc = []
+        return _Bytes(lcs, list(padded))
 
     def _mask(self, cs, lcs, length_lc, label):
         if self.shape.parsing == "nope":
@@ -665,6 +659,7 @@ class NopeStatement:
         # flags: one record is the KSK (257), the other the ZSK (256)
         ksk_first = witness.ksk_first_flags[level]
         flag_bit = cs.alloc(1 if ksk_first else 0, label + ".kskfirst")
+        cs.mark_boolean(flag_bit)
         cs.enforce_bool(flag_bit, label + ".kskfirst.b")
         flags_a = fields["a"].lcs[10] * 256 + fields["a"].lcs[11]
         flags_b = fields["b"].lcs[10] * 256 + fields["b"].lcs[11]

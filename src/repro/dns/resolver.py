@@ -7,6 +7,8 @@ the target domain's KSK.  ``validate_chain`` is the native (non-succinct)
 validation used by the DCE baseline and the DV+ CA.
 """
 
+import hmac
+
 from ..errors import DnssecError
 from .dnssec import ds_digest, verify_rrset
 from .name import DomainName
@@ -232,6 +234,6 @@ def _check_ds_match(ds_name, ds_datas, dnskey_rrset):
         for ds in ds_datas:
             if ds.key_tag != key.key_tag() or ds.algorithm != key.algorithm:
                 continue
-            if ds.digest == ds_digest(ds_name, key, ds.digest_type):
+            if hmac.compare_digest(ds.digest, ds_digest(ds_name, key, ds.digest_type)):
                 return
     raise DnssecError("no DS digest matches the child KSK")

@@ -35,6 +35,7 @@ def bit_decompose(cs, lc, nbits, label="bits"):
     acc = cs.constant(0)
     for i in range(nbits):
         bit = cs.alloc((value >> i) & 1, "%s[%d]" % (label, i))
+        cs.mark_boolean(bit)
         cs.enforce_bool(bit, "%s[%d] bool" % (label, i))
         bits.append(bit)
         acc = acc + bit * (1 << i)

@@ -1,0 +1,184 @@
+"""``python -m repro.lint`` — the CI gate for both analyzers.
+
+Targets:
+
+* ``hygiene``   — AST pass over the ``repro`` source tree.
+* ``gadgets``   — synthesize and audit every registry entry standalone
+  (or one, via ``--gadget NAME``).
+* ``statement`` — synthesize the full toy ``S_NOPE`` statement for a
+  depth-2 domain and audit it end to end.
+* ``all``       — everything above (the default; what CI runs).
+
+Exit status is decided against the checked-in baseline: ``--fail-on new``
+(default) fails only on findings whose key is absent from the baseline,
+``any`` fails on any finding, ``none`` always exits 0 (report-only).
+"""
+
+import argparse
+import sys
+import time
+
+from .circuit import DEFAULT_SEED, audit_system
+from .hygiene import lint_tree
+from .registry import GADGET_AUDITS, build_gadget_system
+from .report import Report, default_baseline_path, load_baseline, save_baseline
+
+#: the statement instance CI audits: toy profile, one depth-2 domain
+_STATEMENT_DOMAIN = "example.com"
+
+
+def _statement_findings(probe, probe_rounds, seed):
+    from ..core.statement import NopeStatement, StatementShape, prepare_witness
+    from ..dns.name import DomainName
+    from ..hashes.toyhash import toyhash
+    from ..profiles import TOY, build_hierarchy
+    from ..r1cs import ConstraintSystem
+    from .registry import FR
+
+    hierarchy = build_hierarchy(TOY, [_STATEMENT_DOMAIN])
+    domain = DomainName.parse(_STATEMENT_DOMAIN)
+    witness = prepare_witness(
+        TOY,
+        domain,
+        hierarchy.fetch_chain(domain),
+        hierarchy.zones[domain].ksk,
+        hierarchy.root.zsk.dnskey(),
+    )
+    shape = StatementShape(TOY, domain.depth)
+    cs = ConstraintSystem(FR)
+    NopeStatement(shape).synthesize(
+        cs, witness, toyhash(b"lint-tls"), toyhash(b"lint-ca"), 600
+    )
+    return audit_system(
+        cs,
+        "statement/%s" % shape.id_string(),
+        probe=probe,
+        probe_rounds=probe_rounds,
+        seed=seed,
+    )
+
+
+def _gadget_findings(names, probe, probe_rounds, seed, verbose):
+    findings = []
+    for name in names:
+        t0 = time.perf_counter()
+        cs = build_gadget_system(name)
+        findings.extend(
+            audit_system(
+                cs, name, probe=probe, probe_rounds=probe_rounds, seed=seed
+            )
+        )
+        if verbose:
+            print(
+                "  audited %-28s %6d constraints  %5.2fs"
+                % (name, cs.num_constraints, time.perf_counter() - t0),
+                file=sys.stderr,
+            )
+    return findings
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="R1CS soundness auditor + crypto-hygiene linter",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default="all",
+        choices=("all", "statement", "gadgets", "hygiene"),
+        help="what to audit (default: all)",
+    )
+    parser.add_argument(
+        "--gadget",
+        action="append",
+        help="audit only this registry gadget (repeatable; implies gadgets)",
+    )
+    parser.add_argument(
+        "--list-gadgets", action="store_true", help="list registry entries and exit"
+    )
+    parser.add_argument(
+        "--fail-on",
+        default="new",
+        choices=("new", "any", "none"),
+        help="failure policy vs the baseline (default: new)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline path (default: the checked-in src/repro/lint/baseline.json)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept current findings: add missing keys to the baseline file",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    parser.add_argument(
+        "--no-probe",
+        action="store_true",
+        help="skip the determinism probe (structural checks only)",
+    )
+    parser.add_argument(
+        "--probe-rounds", type=int, default=2, help="probe trials per wire (default 2)"
+    )
+    parser.add_argument(
+        "--seed", default=None, help="probe seed string (default: fixed CI seed)"
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_gadgets:
+        for name in GADGET_AUDITS:
+            print(name)
+        return 0
+
+    seed = args.seed.encode() if args.seed is not None else DEFAULT_SEED
+    probe = not args.no_probe
+    target = "gadgets" if (args.gadget and args.target == "all") else args.target
+
+    findings = []
+    if target in ("all", "hygiene"):
+        if args.verbose:
+            print("linting source tree...", file=sys.stderr)
+        findings.extend(lint_tree())
+    if target in ("all", "gadgets"):
+        names = args.gadget or list(GADGET_AUDITS)
+        if args.verbose:
+            print("auditing %d gadget(s)..." % len(names), file=sys.stderr)
+        findings.extend(
+            _gadget_findings(names, probe, args.probe_rounds, seed, args.verbose)
+        )
+    if target in ("all", "statement"):
+        if args.verbose:
+            print("synthesizing + auditing the toy statement...", file=sys.stderr)
+        t0 = time.perf_counter()
+        findings.extend(_statement_findings(probe, args.probe_rounds, seed))
+        if args.verbose:
+            print(
+                "  statement audited in %.2fs" % (time.perf_counter() - t0),
+                file=sys.stderr,
+            )
+
+    baseline_path = args.baseline or default_baseline_path()
+    baseline = load_baseline(baseline_path)
+    report = Report(findings, baseline)
+
+    if args.write_baseline:
+        added = 0
+        for f in report.new_findings():
+            baseline[f.key] = "TODO: justify (%s)" % f.message.split("\n")[0][:80]
+            added += 1
+        save_baseline(baseline_path, baseline)
+        print(
+            "baseline: %d new entr%s written to %s (justifications are TODO)"
+            % (added, "y" if added == 1 else "ies", baseline_path)
+        )
+        report = Report(findings, baseline)
+
+    print(report.to_json() if args.json else report.render_text())
+    return report.exit_code(args.fail_on)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

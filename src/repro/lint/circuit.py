@@ -1,0 +1,328 @@
+"""The R1CS soundness auditor (circomspect/Picus-style, over our CSR form).
+
+Every check walks the :class:`~repro.r1cs.compiled.CompiledCircuit` CSR
+lowering of a *fully synthesized* (non-counting) system, so the audit sees
+exactly the rows the prover evaluates and the labels recorded at
+allocation time.
+
+Structural checks (sound over-approximations — every flagged wire really
+has the stated shape; whether the shape is a bug is for the baseline):
+
+* ``dead-wire``          — a witness wire in no constraint row at all: the
+  prover may set it freely (a hole if anything downstream trusts it).
+* ``unused-public``      — a public input with no constraint row: its QAP
+  column is zero, so the proof does not bind it.
+* ``linear-only``        — a witness wire that never participates in any
+  bilinear row (a row whose A and B sides are both non-constant), on any
+  side, and is not affinely solvable (fixpoint) from wires that are
+  boolean-marked, public, or multiplicatively examined.  Such a wire is
+  restricted only by affine equations over other unexamined wires;
+  whether those pin it requires the determinism probe (or eyeballs).
+* ``duplicate-constraint`` — two rows with identical A/B/C sides; the
+  second proves nothing (dead weight, and often a sign of a copy-paste
+  where a *different* constraint was intended).
+* ``missing-bool``       — a wire marked boolean at allocation
+  (:meth:`ConstraintSystem.mark_boolean`) without an ``enforce_bool``
+  -shaped row ``w * (w - 1) = 0``.
+
+Semantic check:
+
+* ``free-wire`` — the Picus-style determinism probe.  Starting from the
+  honest satisfying assignment, each witness wire is individually re-bound
+  to pseudo-random values; if every constraint reading the wire stays
+  satisfied, the wire's value is not determined by the statement and the
+  prover may forge it.  The probe is **probabilistic and local**: it
+  perturbs one wire at a time (a jointly-free *pair* is invisible to it —
+  that is what ``linear-only`` is for) and tries ``rounds`` random values
+  (a wire free only at specially crafted values can escape).  A clean
+  probe is evidence, not proof; a flagged wire is a real single-wire
+  degree of freedom at this assignment.
+"""
+
+import hashlib
+
+from ..errors import SynthesisError, UnsatisfiedError
+from ..r1cs.compiled import CompiledCircuit
+from ..r1cs.lc import ONE_WIRE
+from .report import Finding, normalize_label
+
+#: deterministic default seed for the probe (reproducible CI runs)
+DEFAULT_SEED = b"nope-lint"
+
+
+def _row_wires(mat, i):
+    return mat.wires[mat.row_ptr[i] : mat.row_ptr[i + 1]]
+
+
+def _side_nonconstant(mat, i):
+    """True if row i of this matrix reads any wire besides the one wire."""
+    return any(w != ONE_WIRE for w in _row_wires(mat, i))
+
+
+def _eval_split_row(row, values, p):
+    ones, negs, gcoeffs, gwires = row
+    t = sum(values[w] for w in ones)
+    if negs:
+        t -= sum(values[w] for w in negs)
+    if gcoeffs:
+        t += sum(c * values[w] for c, w in zip(gcoeffs, gwires))
+    return t % p
+
+
+def _canonical_row(compiled, i):
+    """Hashable (A, B, C) form of row i for duplicate detection."""
+
+    def side(mat):
+        lo, hi = mat.row_ptr[i], mat.row_ptr[i + 1]
+        return tuple(sorted(zip(mat.wires[lo:hi], mat.coeffs[lo:hi])))
+
+    return side(compiled.a), side(compiled.b), side(compiled.c)
+
+
+class _Incidence:
+    """Wire <-> row incidence plus row classification, one pass."""
+
+    def __init__(self, compiled):
+        nv = compiled.num_variables
+        self.rows_of = [[] for _ in range(nv)]
+        self.bilinear_rows = []
+        self.appears_bilinear = [False] * nv
+        a, b, c = compiled.a, compiled.b, compiled.c
+        for i in range(compiled.num_constraints):
+            wires_here = set()
+            for mat in (a, b, c):
+                wires_here.update(_row_wires(mat, i))
+            wires_here.discard(ONE_WIRE)
+            for w in wires_here:
+                self.rows_of[w].append(i)
+            if _side_nonconstant(a, i) and _side_nonconstant(b, i):
+                self.bilinear_rows.append(i)
+                for w in wires_here:
+                    self.appears_bilinear[w] = True
+
+    def linear_row_wires(self, compiled, i):
+        """Non-one wires of a (linear) row, across all three sides."""
+        wires = set()
+        for mat in (compiled.a, compiled.b, compiled.c):
+            wires.update(_row_wires(mat, i))
+        wires.discard(ONE_WIRE)
+        return wires
+
+
+def _bool_enforced_wires(compiled):
+    """Wires with an ``enforce_bool``-shaped row: A={w:1}, B={w:1,1:-1},
+    C empty (either side order)."""
+    p = compiled.modulus
+    enforced = set()
+
+    def side(mat, i):
+        lo, hi = mat.row_ptr[i], mat.row_ptr[i + 1]
+        return dict(zip(mat.wires[lo:hi], mat.coeffs[lo:hi]))
+
+    for i in range(compiled.num_constraints):
+        if compiled.c.row_ptr[i] != compiled.c.row_ptr[i + 1]:
+            continue
+        sa, sb = side(compiled.a, i), side(compiled.b, i)
+        for one_side, minus_side in ((sa, sb), (sb, sa)):
+            if len(one_side) != 1 or len(minus_side) != 2:
+                continue
+            (w, cw), = one_side.items()
+            if w == ONE_WIRE or cw != 1:
+                continue
+            if minus_side.get(w) == 1 and minus_side.get(ONE_WIRE) == p - 1:
+                enforced.add(w)
+    return enforced
+
+
+def determinism_probe(compiled, values, rounds=2, seed=DEFAULT_SEED,
+                      incidence=None):
+    """Wires whose value can change (alone) with all constraints satisfied.
+
+    ``values`` must be a *satisfying* assignment.  Returns witness-wire
+    indices.  Deterministic for a given seed.
+    """
+    p = compiled.modulus
+    inc = incidence or _Incidence(compiled)
+    values = list(values)
+    free = []
+    a_rows, b_rows, c_rows = compiled.a.rows, compiled.b.rows, compiled.c.rows
+    for wire in range(1 + compiled.num_public, compiled.num_variables):
+        rows = inc.rows_of[wire]
+        if not rows:
+            continue  # dead wire: reported structurally, trivially free
+        orig = values[wire]
+        for trial in range(rounds):
+            digest = hashlib.sha256(
+                b"%s|%d|%d" % (seed, wire, trial)
+            ).digest()
+            alt = int.from_bytes(digest, "big") % p
+            if alt == orig:
+                alt = (alt + 1) % p
+            values[wire] = alt
+            ok = True
+            for i in rows:
+                av = _eval_split_row(a_rows[i], values, p)
+                bv = _eval_split_row(b_rows[i], values, p)
+                cv = _eval_split_row(c_rows[i], values, p)
+                if av * bv % p != cv:
+                    ok = False
+                    break
+            if ok:
+                free.append(wire)
+                break
+        values[wire] = orig
+    return free
+
+
+def audit_system(system, name, compiled=None, probe=True, probe_rounds=2,
+                 seed=DEFAULT_SEED):
+    """Run every circuit check; returns a list of :class:`Finding`.
+
+    ``name`` scopes the finding keys (e.g. a gadget name or statement id).
+    """
+    if system is not None and system.counting_only:
+        raise SynthesisError("cannot audit a counting-only system")
+    if compiled is None:
+        compiled = CompiledCircuit.from_system(system)
+    findings = []
+    labels = compiled.wire_labels
+    inc = _Incidence(compiled)
+
+    def add(check, severity, wire_or_label, message, count=1):
+        if isinstance(wire_or_label, int):
+            where_label = labels[wire_or_label]
+        else:
+            where_label = wire_or_label
+        findings.append(
+            Finding(
+                "circuit",
+                check,
+                severity,
+                "%s:%s" % (name, normalize_label(where_label)),
+                message,
+                count,
+            )
+        )
+
+    # -- dead / unused wires -------------------------------------------------
+    for w in range(1, compiled.num_variables):
+        if inc.rows_of[w]:
+            continue
+        if w <= compiled.num_public:
+            add(
+                "unused-public", "error", w,
+                "public input wire %d (%s) appears in no constraint; the "
+                "proof does not bind it" % (w, labels[w]),
+            )
+        else:
+            add(
+                "dead-wire", "error", w,
+                "witness wire %d (%s) appears in no constraint; the prover "
+                "may assign it freely" % (w, labels[w]),
+            )
+
+    # -- linear-only witness wires -------------------------------------------
+    # A wire is "covered" if it is multiplicatively examined (appears in a
+    # bilinear row), boolean-marked, public, or affinely solvable from
+    # covered wires: a linear row with exactly one uncovered wire determines
+    # that wire as an affine function of the rest (e.g. a cs.mul whose other
+    # operand degenerated to a constant), so any freedom it has traces back
+    # to wires the other checks already target.  Fixpoint over linear rows;
+    # what survives is a wire no multiplication can ever reach — the classic
+    # forgotten-constraint hint hole.
+    boolean = set(compiled.boolean_wires)
+    covered = set(boolean)
+    covered.update(range(0, 1 + compiled.num_public))
+    covered.update(w for w in range(compiled.num_variables)
+                   if inc.appears_bilinear[w])
+    bilinear = set(inc.bilinear_rows)
+    linear_rows = [
+        inc.linear_row_wires(compiled, i)
+        for i in range(compiled.num_constraints)
+        if i not in bilinear
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for wires_here in linear_rows:
+            uncovered = [w for w in wires_here if w not in covered]
+            if len(uncovered) == 1:
+                covered.add(uncovered[0])
+                changed = True
+    for w in range(1 + compiled.num_public, compiled.num_variables):
+        if not inc.rows_of[w] or inc.appears_bilinear[w]:
+            continue
+        if w in covered:
+            continue
+        add(
+            "linear-only", "warning", w,
+            "witness wire %d (%s) is constrained only by affine equations "
+            "and is not affinely solvable from multiplicatively-examined "
+            "wires; verify the linear system pins it" % (w, labels[w]),
+        )
+
+    # -- duplicate constraints -----------------------------------------------
+    seen_rows = {}
+    for i in range(compiled.num_constraints):
+        key = _canonical_row(compiled, i)
+        first = seen_rows.setdefault(key, i)
+        if first != i:
+            add(
+                "duplicate-constraint", "warning",
+                compiled.labels[i] or "row%d" % i,
+                "constraint %d (%s) is identical to constraint %d (%s)"
+                % (i, compiled.labels[i], first, compiled.labels[first]),
+            )
+
+    # -- boolean contract ----------------------------------------------------
+    enforced = _bool_enforced_wires(compiled)
+    for w in sorted(boolean):
+        if w not in enforced:
+            add(
+                "missing-bool", "error", w,
+                "wire %d (%s) is marked boolean but has no w*(w-1)=0 row"
+                % (w, labels[w]),
+            )
+
+    # -- determinism probe ---------------------------------------------------
+    if probe and compiled.num_constraints:
+        values = system.full_assignment()
+        try:
+            compiled.evaluate(values)
+        except UnsatisfiedError as exc:
+            add(
+                "unsatisfied-system", "error", "assignment",
+                "cannot probe an unsatisfied assignment: %s" % exc,
+            )
+        else:
+            for w in determinism_probe(
+                compiled, values, rounds=probe_rounds, seed=seed, incidence=inc
+            ):
+                add(
+                    "free-wire", "error", w,
+                    "witness wire %d (%s) can take another value with every "
+                    "constraint still satisfied (probabilistic single-wire "
+                    "perturbation, %d round(s))" % (w, labels[w], probe_rounds),
+                )
+    return findings
+
+
+def incidence_stats(system, compiled=None):
+    """Per-circuit incidence statistics (also consumed by the ablation
+    benchmark, so Figure-6 counts and audit coverage share one source)."""
+    if compiled is None:
+        compiled = CompiledCircuit.from_system(system)
+    inc = _Incidence(compiled)
+    used = sum(1 for rows in inc.rows_of if rows)
+    touch = [len(rows) for rows in inc.rows_of[1:] if rows]
+    return {
+        "wires": compiled.num_variables,
+        "public": compiled.num_public,
+        "constraints": compiled.num_constraints,
+        "nnz": compiled.a.nnz + compiled.b.nnz + compiled.c.nnz,
+        "bilinear_rows": len(inc.bilinear_rows),
+        "linear_rows": compiled.num_constraints - len(inc.bilinear_rows),
+        "wires_used": used,
+        "max_rows_per_wire": max(touch) if touch else 0,
+        "avg_rows_per_wire": (sum(touch) / len(touch)) if touch else 0.0,
+    }

@@ -145,6 +145,8 @@ class CompiledCircuit:
         "num_public",
         "modulus",
         "labels",
+        "wire_labels",
+        "boolean_wires",
         "a",
         "b",
         "c",
@@ -157,6 +159,11 @@ class CompiledCircuit:
         self.num_public = system.num_public
         self.modulus = system.field.p
         self.labels = [label for _, _, _, label in system.constraints]
+        # audit metadata: wire names and boolean-contract marks travel with
+        # the CSR form so reports can say "sha256/w[17]" instead of "w1234";
+        # neither enters structure_hash(), so unlabeled systems hash the same
+        self.wire_labels = list(system.labels)
+        self.boolean_wires = frozenset(system.boolean_wires)
         self.a = CsrMatrix([a for a, _, _, _ in system.constraints], self.modulus)
         self.b = CsrMatrix([b for _, b, _, _ in system.constraints], self.modulus)
         self.c = CsrMatrix([c for _, _, c, _ in system.constraints], self.modulus)

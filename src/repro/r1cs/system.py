@@ -51,6 +51,9 @@ class ConstraintSystem:
         self.constraints = []
         self.constraint_count = 0
         self._private_started = False
+        #: wires declared boolean at allocation time (see mark_boolean);
+        #: audit metadata only — never part of the structure hash
+        self.boolean_wires = set()
         #: cached structure_hash(); invalidated on any structural change
         self._structure_hash = None
         #: None = value tracking off; a set = wires re-bound since the last
@@ -90,6 +93,32 @@ class ConstraintSystem:
 
     def constant(self, value):
         return LinearCombination.constant(value % self.field.p)
+
+    def mark_boolean(self, lc):
+        """Declare a single-wire LC boolean *by contract*.
+
+        Marking records intent only — it adds no constraint.  Gadgets that
+        allocate a wire whose correctness depends on it being 0/1 mark it
+        here and must separately call :meth:`enforce_bool`; the lint
+        auditor (:mod:`repro.lint.circuit`) reports any marked wire that
+        lacks a boolean constraint row.  Metadata only: the structure hash
+        and cached evaluations are unaffected.
+        """
+        wire = lc if isinstance(lc, int) else self._single_wire(lc)
+        self.boolean_wires.add(wire)
+
+    def _single_wire(self, lc):
+        """The wire index of a one-term LC (coefficient 1)."""
+        if not isinstance(lc, LinearCombination) or len(lc.terms) != 1:
+            raise SynthesisError("expected a single-wire LC, got %r" % (lc,))
+        (wire, coeff), = lc.terms.items()
+        if coeff != 1:
+            raise SynthesisError("expected coefficient 1 on wire %d" % wire)
+        return wire
+
+    def wire_label(self, wire):
+        """The allocation label of a wire index."""
+        return self.labels[wire]
 
     # -- constraints -----------------------------------------------------------
 

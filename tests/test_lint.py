@@ -1,0 +1,305 @@
+"""Tests for repro.lint: auditor fixtures, hygiene rules, baseline gating."""
+
+import json
+
+import pytest
+
+from repro.ec.curves import BN254_R
+from repro.field import PrimeField
+from repro.gadgets.bits import bit_decompose, is_zero
+from repro.lint import (
+    GADGET_AUDITS,
+    Report,
+    audit_system,
+    build_gadget_system,
+    default_baseline_path,
+    incidence_stats,
+    lint_source,
+    load_baseline,
+    normalize_label,
+)
+from repro.lint.__main__ import main as lint_main
+from repro.r1cs import ConstraintSystem
+from repro.r1cs.compiled import CompiledCircuit
+
+FR = PrimeField(BN254_R)
+
+
+def checks(findings):
+    return {f.check for f in findings}
+
+
+def by_check(findings, check):
+    return [f for f in findings if f.check == check]
+
+
+# -- seeded-bug fixtures: each known-bad circuit yields its finding class ----
+
+
+class TestAuditorFixtures:
+    def test_dead_wire_caught(self):
+        cs = ConstraintSystem(FR)
+        x = cs.alloc(3, "x")
+        cs.enforce_equal(x, cs.constant(3), "pin")
+        cs.alloc(5, "orphan")  # never constrained
+        found = audit_system(cs, "fix")
+        dead = by_check(found, "dead-wire")
+        assert len(dead) == 1
+        assert "orphan" in dead[0].message
+
+    def test_unused_public_caught(self):
+        cs = ConstraintSystem(FR)
+        cs.alloc_public(9, "pub_unused")
+        x = cs.alloc(1, "x")
+        cs.enforce_equal(x, cs.constant(1), "pin")
+        found = audit_system(cs, "fix")
+        assert len(by_check(found, "unused-public")) == 1
+
+    def test_linear_only_wire_caught(self):
+        cs = ConstraintSystem(FR)
+        x = cs.alloc(3, "x")
+        y = cs.alloc(4, "y")
+        cs.enforce_equal(x + y, cs.constant(7), "sum")
+        found = audit_system(cs, "fix", probe=False)
+        flagged = by_check(found, "linear-only")
+        assert {f.where for f in flagged} == {"fix:x", "fix:y"}
+
+    def test_linear_only_suppressed_when_affinely_solvable(self):
+        # z = x*y (bilinear), w = z + 1 (affine over an examined wire):
+        # w must NOT be flagged even though it never appears bilinear
+        cs = ConstraintSystem(FR)
+        x = cs.alloc(3, "x")
+        y = cs.alloc(4, "y")
+        z = cs.mul(x, y, "z")
+        w = cs.alloc(13, "w")
+        cs.enforce_equal(w, z + 1, "def_w")
+        found = audit_system(cs, "fix", probe=False)
+        assert not by_check(found, "linear-only")
+
+    def test_duplicate_constraint_caught(self):
+        cs = ConstraintSystem(FR)
+        a = cs.alloc(2, "a")
+        b = cs.alloc(3, "b")
+        cs.enforce(a, b, cs.constant(6), "first")
+        cs.enforce(a, b, cs.constant(6), "again")
+        found = audit_system(cs, "fix", probe=False)
+        dups = by_check(found, "duplicate-constraint")
+        assert len(dups) == 1
+        assert "again" in dups[0].message
+
+    def test_missing_bool_caught(self):
+        cs = ConstraintSystem(FR)
+        w = cs.alloc(1, "flag")
+        cs.mark_boolean(w)
+        cs.enforce_equal(w, cs.constant(1), "pin")  # but no w*(w-1)=0 row
+        found = audit_system(cs, "fix", probe=False)
+        missing = by_check(found, "missing-bool")
+        assert len(missing) == 1
+        assert "flag" in missing[0].message
+
+    def test_marked_and_enforced_bool_clean(self):
+        cs = ConstraintSystem(FR)
+        bit_decompose(cs, cs.alloc(5, "x"), 4, "bits")
+        found = audit_system(cs, "fix")
+        assert not found
+
+    def test_free_wire_caught_by_probe(self):
+        # is_zero on a zero input leaves the inverse hint unconstrained
+        cs = ConstraintSystem(FR)
+        is_zero(cs, cs.alloc(0, "x"), "iz")
+        found = audit_system(cs, "fix")
+        free = by_check(found, "free-wire")
+        assert len(free) == 1
+        assert "iz.inv" in free[0].message
+
+    def test_probe_clean_on_pinned_system(self):
+        cs = ConstraintSystem(FR)
+        is_zero(cs, cs.alloc(7, "x"), "iz")
+        found = audit_system(cs, "fix")
+        assert "free-wire" not in checks(found)
+
+    def test_probe_is_deterministic(self):
+        cs = ConstraintSystem(FR)
+        is_zero(cs, cs.alloc(0, "x"), "iz")
+        a = [f.key for f in audit_system(cs, "fix", seed=b"s1")]
+        b = [f.key for f in audit_system(cs, "fix", seed=b"s1")]
+        assert a == b
+
+
+# -- label propagation into the CSR metadata ---------------------------------
+
+
+class TestLabelPropagation:
+    def test_wire_labels_reach_compiled(self):
+        cs = ConstraintSystem(FR)
+        x = cs.alloc(3, "sha256/w[17]")
+        cs.enforce_equal(x, cs.constant(3), "pin")
+        compiled = CompiledCircuit.from_system(cs)
+        assert "sha256/w[17]" in compiled.wire_labels
+
+    def test_findings_name_wires(self):
+        cs = ConstraintSystem(FR)
+        cs.alloc(5, "sha256/w[17]")
+        (finding,) = audit_system(cs, "g")
+        assert finding.where == "g:sha#/w[#]"
+        assert "sha256/w[17]" in finding.message
+
+    def test_structure_hash_ignores_labels_and_bool_marks(self):
+        def build(labeled):
+            cs = ConstraintSystem(FR)
+            w = cs.alloc(1, "flag" if labeled else None)
+            if labeled:
+                cs.mark_boolean(w)
+            cs.enforce_bool(w, "b" if labeled else None)
+            return cs.structure_hash()
+
+        assert build(True) == build(False)
+
+
+# -- hygiene rules ------------------------------------------------------------
+
+
+class TestHygiene:
+    def test_random_module_severity_by_path(self):
+        src = "import random\n"
+        (err,) = lint_source(src, "sig/ecdsa.py")
+        assert (err.check, err.severity) == ("random-module", "error")
+        (warn,) = lint_source(src, "dns/zone.py")
+        assert warn.severity == "warning"
+
+    def test_digest_compare_flagged(self):
+        src = "def f(a, b):\n    return a.digest == expected_mac\n"
+        (f,) = lint_source(src, "ca/issuer.py")
+        assert f.check == "digest-compare"
+        assert f.where == "ca/issuer.py:f"
+
+    def test_digest_metadata_exempt(self):
+        src = (
+            "def f(ds):\n"
+            "    ok = ds.digest_type == DIGEST_SHA256\n"
+            "    return len(digest_bytes) != 12 and hmac.compare_digest(a, b)\n"
+        )
+        assert lint_source(src, "dns/dnssec.py") == []
+
+    def test_bare_except_and_mutable_default(self):
+        src = (
+            "def f(x=[]):\n"
+            "    try:\n"
+            "        return x\n"
+            "    except:\n"
+            "        pass\n"
+        )
+        assert checks(lint_source(src, "core/util.py")) == {
+            "bare-except",
+            "mutable-default",
+        }
+
+    def test_float_banned_only_in_exact_layers(self):
+        src = "RATIO = 0.5\n"
+        (f,) = lint_source(src, "field/prime.py")
+        assert f.check == "float-in-field"
+        assert lint_source(src, "benchmarks_helper.py") == []
+
+
+# -- baseline gating ----------------------------------------------------------
+
+
+class TestBaseline:
+    def test_normalize_label_collapses_digits(self):
+        assert normalize_label("dk1.sfx.ind[3]") == "dk#.sfx.ind[#]"
+        assert normalize_label(None) == "unlabeled"
+
+    def test_report_new_vs_accepted_vs_stale(self):
+        cs = ConstraintSystem(FR)
+        cs.alloc(5, "orphan")
+        findings = audit_system(cs, "g")
+        key = findings[0].key
+        rep = Report(findings, {key: "known", "circuit:gone:g:x": "old"})
+        assert not rep.new_findings()
+        assert [f.key for f in rep.accepted_findings()] == [key]
+        assert rep.stale_baseline() == ["circuit:gone:g:x"]
+        assert rep.exit_code("new") == 0
+        assert rep.exit_code("any") == 1
+        assert rep.exit_code("none") == 0
+
+    def test_new_unconstrained_wire_fails_ci_gate(self):
+        # simulate the CI failure mode: a fresh dead wire in an otherwise
+        # clean gadget must flip --fail-on new to a nonzero exit
+        cs = build_gadget_system("bits/bit_decompose")
+        cs.alloc(5, "newly_unconstrained")
+        rep = Report(audit_system(cs, "bits/bit_decompose"),
+                     load_baseline(default_baseline_path()))
+        assert rep.exit_code("new") == 1
+        assert "dead-wire" in checks(rep.new_findings())
+
+
+# -- the shipped codebase is clean against the shipped baseline ---------------
+
+
+class TestShippedClean:
+    def test_every_registry_gadget_clean(self):
+        baseline = load_baseline(default_baseline_path())
+        findings = []
+        for name in GADGET_AUDITS:
+            findings.extend(audit_system(build_gadget_system(name), name))
+        rep = Report(findings, baseline)
+        assert rep.new_findings() == []
+
+    def test_full_statement_audit_clean(self):
+        from repro.core.statement import NopeStatement, StatementShape, prepare_witness
+        from repro.dns.name import DomainName
+        from repro.hashes.toyhash import toyhash
+        from repro.profiles import TOY, build_hierarchy
+
+        hierarchy = build_hierarchy(TOY, ["example.com"])
+        domain = DomainName.parse("example.com")
+        witness = prepare_witness(
+            TOY,
+            domain,
+            hierarchy.fetch_chain(domain),
+            hierarchy.zones[domain].ksk,
+            hierarchy.root.zsk.dnskey(),
+        )
+        cs = ConstraintSystem(FR)
+        NopeStatement(StatementShape(TOY, domain.depth)).synthesize(
+            cs, witness, toyhash(b"t"), toyhash(b"n"), 600
+        )
+        assert audit_system(cs, "statement") == []
+
+    def test_hygiene_tree_clean(self):
+        from repro.lint import lint_tree
+
+        baseline = load_baseline(default_baseline_path())
+        rep = Report(lint_tree(), baseline)
+        assert rep.new_findings() == []
+
+    def test_incidence_stats_shape(self):
+        stats = incidence_stats(build_gadget_system("strings/indicator"))
+        assert stats["constraints"] == 9
+        assert stats["bilinear_rows"] + stats["linear_rows"] == 9
+        assert 0 < stats["wires_used"] <= stats["wires"]
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestCli:
+    def test_list_gadgets(self, capsys):
+        assert lint_main(["--list-gadgets"]) == 0
+        out = capsys.readouterr().out
+        assert "ecdsa/verify_nope" in out
+
+    def test_single_gadget_json(self, capsys):
+        rc = lint_main(["--gadget", "bits/bit_decompose", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["findings"] == []
+
+    def test_unknown_gadget_raises(self):
+        with pytest.raises(KeyError):
+            lint_main(["--gadget", "no/such"])
+
+    def test_fail_on_any_catches_baselined(self, capsys):
+        rc = lint_main(["--gadget", "bits/is_zero_at_zero", "--fail-on", "any"])
+        assert rc == 1
+        assert "baseline" in capsys.readouterr().out
