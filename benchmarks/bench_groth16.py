@@ -13,11 +13,15 @@ process-pool engine, and checks the two proofs are byte-identical.
 
 import pytest
 
+from repro import telemetry
 from repro.ec.curves import BN254_R
 from repro.engine import Engine, EngineConfig
 from repro.field import PrimeField
 from repro.groth16 import PROOF_SIZE, prepare, proof_to_bytes, prove, setup, verify
 from repro.r1cs import ConstraintSystem
+from repro.telemetry.bench import write_bench_record
+from repro.telemetry.clocks import perf
+from repro.telemetry.trace import span
 
 FR = PrimeField(BN254_R)
 
@@ -70,8 +74,6 @@ def compare_engines(m, workers, rounds=1):
     two engines disagree on the proof (they must be byte-identical — group
     arithmetic is exact, so re-association cannot change the result).
     """
-    import time
-
     cs = chain_circuit(m)
     pk, vk, _ = setup(cs)
     parallel = Engine(EngineConfig(workers=workers))
@@ -80,15 +82,17 @@ def compare_engines(m, workers, rounds=1):
         prove(pk, cs)
         prove(pk, cs, engine=parallel)
 
-        t0 = time.perf_counter()
-        for _ in range(rounds):
-            p_serial = prove(pk, cs, rng=_fixed_rng())
-        serial_s = (time.perf_counter() - t0) / rounds
+        with span("bench.prove.serial", m=m, rounds=rounds):
+            t0 = perf()
+            for _ in range(rounds):
+                p_serial = prove(pk, cs, rng=_fixed_rng())
+            serial_s = (perf() - t0) / rounds
 
-        t0 = time.perf_counter()
-        for _ in range(rounds):
-            p_parallel = prove(pk, cs, rng=_fixed_rng(), engine=parallel)
-        parallel_s = (time.perf_counter() - t0) / rounds
+        with span("bench.prove.parallel", m=m, workers=workers, rounds=rounds):
+            t0 = perf()
+            for _ in range(rounds):
+                p_parallel = prove(pk, cs, rng=_fixed_rng(), engine=parallel)
+            parallel_s = (perf() - t0) / rounds
 
         serial_bytes = proof_to_bytes(p_serial)
         if serial_bytes != proof_to_bytes(p_parallel):
@@ -112,9 +116,15 @@ def main(argv=None):
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("-m", type=int, default=None,
                         help="constraint-chain length (default 96 smoke / 1024)")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable span tracing and print the span tree")
+    parser.add_argument("--no-record", action="store_true",
+                        help="skip writing BENCH_groth16.json")
     args = parser.parse_args(argv)
 
     m = args.m or (96 if args.smoke else 1024)
+    if args.trace:
+        telemetry.enable()
     serial_s, parallel_s, proof_bytes = compare_engines(m, args.workers)
     speedup = serial_s / parallel_s if parallel_s else float("inf")
     print(f"chain_circuit(m={m}), proof = {len(proof_bytes)} bytes")
@@ -122,6 +132,15 @@ def main(argv=None):
     print(f"  prove, workers={args.workers} engine:    {parallel_s:8.3f} s"
           f"   ({speedup:.2f}x)")
     print("  proofs byte-identical, verification passed")
+    if args.trace:
+        print()
+        print(telemetry.render_trace())
+    if not args.no_record:
+        config = {"m": m, "workers": args.workers, "smoke": args.smoke,
+                  "trace": args.trace}
+        results = {"serial_s": serial_s, "parallel_s": parallel_s,
+                   "speedup": speedup, "proof_bytes": len(proof_bytes)}
+        print("wrote %s" % write_bench_record("groth16", config, results))
 
 
 if __name__ == "__main__":

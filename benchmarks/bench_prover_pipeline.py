@@ -20,8 +20,8 @@ Run::
 """
 
 import argparse
-import time
 
+from repro import telemetry
 from repro.ec.curves import BN254_R
 from repro.engine import Engine, EngineConfig
 from repro.field import PrimeField
@@ -35,6 +35,9 @@ from repro.groth16 import (
     verify,
 )
 from repro.r1cs import CompiledCircuit, ConstraintSystem
+from repro.telemetry.bench import write_bench_record
+from repro.telemetry.clocks import perf
+from repro.telemetry.trace import span
 
 FR = PrimeField(BN254_R)
 
@@ -95,9 +98,9 @@ def _fixed_rng():
 def _best(fn, rounds):
     best = float("inf")
     for i in range(rounds):
-        t0 = time.perf_counter()
+        t0 = perf()
         fn(i)
-        best = min(best, time.perf_counter() - t0)
+        best = min(best, perf() - t0)
     return best
 
 
@@ -125,13 +128,15 @@ def check_proof_parity(keyed_m, workers):
 def run(m, keyed_m, workers, rounds):
     eng = Engine()
 
-    t0 = time.perf_counter()
-    cs, wires = statement_like_circuit(m)
-    synth_s = time.perf_counter() - t0
+    with span("bench.synthesize", m=m):
+        t0 = perf()
+        cs, wires = statement_like_circuit(m)
+        synth_s = perf() - t0
 
-    t0 = time.perf_counter()
-    compiled = CompiledCircuit.from_system(cs)
-    compile_s = time.perf_counter() - t0
+    with span("bench.compile"):
+        t0 = perf()
+        compiled = CompiledCircuit.from_system(cs)
+        compile_s = perf() - t0
 
     # parity: the CSR evaluator must agree with the LC walk bit-for-bit
     lc_evals = evaluate_constraints(cs)
@@ -150,8 +155,10 @@ def run(m, keyed_m, workers, rounds):
     eng.evaluate_r1cs(cs)
 
     def compiled_round(i):
-        bind(cs, wires, 400 + i, 500 + i, 600 + i)
-        eng.evaluate_r1cs(cs)
+        with span("bench.bind", round=i):
+            bind(cs, wires, 400 + i, 500 + i, 600 + i)
+        with span("bench.evaluate", round=i):
+            eng.evaluate_r1cs(cs)
 
     warm_s = _best(compiled_round, rounds)
 
@@ -166,9 +173,10 @@ def run(m, keyed_m, workers, rounds):
     )
 
     # MSM-dominated tail, on a circuit small enough to run setup
-    kcs = keyed_circuit(keyed_m)
-    pk, _, _ = setup(kcs)
-    prove(pk, kcs)  # warm the prepared-key and compiled caches
+    with span("bench.keyed_setup", keyed_m=keyed_m):
+        kcs = keyed_circuit(keyed_m)
+        pk, _, _ = setup(kcs)
+        prove(pk, kcs)  # warm the prepared-key and compiled caches
     keyed_eval_s = _best(lambda i: eng.evaluate_r1cs(kcs), rounds)
     keyed_fft_s = _best(
         lambda i: compute_h_coefficients(
@@ -196,7 +204,53 @@ def run(m, keyed_m, workers, rounds):
     print("  msm + tail (residual):      %8.3f s" % msm_s)
     print("proofs byte-identical across {legacy LC, compiled, workers=%d}"
           % workers)
-    return lc_s / warm_s if warm_s else float("inf")
+    results = {
+        "m": compiled.num_constraints,
+        "nnz": compiled.a.nnz + compiled.b.nnz + compiled.c.nnz,
+        "keyed_m": keyed_m,
+        "proof_bytes": len(proof_bytes),
+        "synthesize_s": synth_s,
+        "compile_s": compile_s,
+        "bind_evaluate_lc_s": lc_s,
+        "bind_evaluate_compiled_s": warm_s,
+        "h_coefficients_s": fft_s,
+        "prove_s": prove_s,
+        "msm_tail_s": msm_s,
+        "compiled_speedup": lc_s / warm_s if warm_s else None,
+    }
+    return results
+
+
+def overhead_gate(keyed_m, rounds, limit=0.05):
+    """Enabled-vs-disabled tracing overhead on the smoke prove path.
+
+    Proves the same warmed keyed circuit with tracing off, then on, taking
+    the best of ``rounds`` each; fails if enabling tracing costs more than
+    ``limit`` (fractional).  Returns (disabled_s, enabled_s, overhead).
+    """
+    kcs = keyed_circuit(keyed_m)
+    pk, _, _ = setup(kcs)
+    prove(pk, kcs)  # warm every cache before either timing
+    was_enabled = telemetry.is_enabled()
+    telemetry.disable()
+    disabled_s = _best(lambda i: prove(pk, kcs, rng=_fixed_rng()), rounds)
+    telemetry.enable()
+    try:
+        enabled_s = _best(lambda i: prove(pk, kcs, rng=_fixed_rng()), rounds)
+    finally:
+        if not was_enabled:
+            telemetry.disable()
+    overhead = enabled_s / disabled_s - 1.0 if disabled_s else 0.0
+    print(
+        "tracing overhead: disabled %.3fs, enabled %.3fs -> %+.2f%%"
+        % (disabled_s, enabled_s, 100.0 * overhead)
+    )
+    if overhead > limit:
+        raise SystemExit(
+            "tracing overhead %.2f%% exceeds the %.0f%% gate"
+            % (100.0 * overhead, 100.0 * limit)
+        )
+    return disabled_s, enabled_s, overhead
 
 
 def main(argv=None):
@@ -212,11 +266,37 @@ def main(argv=None):
                         help="keyed-circuit chain length (default 96 / 512)")
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--trace", action="store_true",
+                        help="enable span tracing and print the span tree")
+    parser.add_argument("--no-record", action="store_true",
+                        help="skip writing BENCH_prover_pipeline.json")
+    parser.add_argument("--overhead-gate", action="store_true",
+                        help="gate enabled-vs-disabled tracing overhead <5%%")
     args = parser.parse_args(argv)
 
     m = args.m or (3000 if args.smoke else 20000)
     keyed_m = args.keyed_m or (96 if args.smoke else 512)
-    speedup = run(m, keyed_m, args.workers, args.rounds)
+    if args.trace:
+        telemetry.enable()
+    with span("bench.prover_pipeline", m=m, keyed_m=keyed_m,
+              workers=args.workers):
+        results = run(m, keyed_m, args.workers, args.rounds)
+    if args.overhead_gate:
+        gate = overhead_gate(keyed_m, max(args.rounds, 3))
+        results["overhead_gate"] = {
+            "disabled_s": gate[0], "enabled_s": gate[1], "overhead": gate[2],
+        }
+    if args.trace:
+        print()
+        print(telemetry.render_trace())
+    if not args.no_record:
+        config = {
+            "m": m, "keyed_m": keyed_m, "workers": args.workers,
+            "rounds": args.rounds, "smoke": args.smoke, "trace": args.trace,
+        }
+        path = write_bench_record("prover_pipeline", config, results)
+        print("wrote %s" % path)
+    speedup = results["compiled_speedup"] or float("inf")
     if speedup < 2.0:
         raise SystemExit(
             "compiled bind+evaluate below the 2x target: %.2fx" % speedup

@@ -28,8 +28,8 @@ Run::
 """
 
 import argparse
-import time
 
+from repro import telemetry
 from repro.ec.curves import BN254_R
 from repro.engine import Engine, EngineConfig
 from repro.field import PrimeField
@@ -43,6 +43,9 @@ from repro.groth16 import (
 )
 from repro.groth16.verify import PreparedVerifyingKey
 from repro.r1cs import ConstraintSystem
+from repro.telemetry.bench import write_bench_record
+from repro.telemetry.clocks import perf
+from repro.telemetry.trace import span
 
 FR = PrimeField(BN254_R)
 R = BN254_R
@@ -98,9 +101,9 @@ def check_verdicts_identical(vk, pvk, proofs, publics, engines):
 def time_per_proof(fn, batch_size, rounds):
     best = float("inf")
     for _ in range(rounds):
-        t0 = time.perf_counter()
+        t0 = perf()
         fn()
-        best = min(best, time.perf_counter() - t0)
+        best = min(best, perf() - t0)
     return best / batch_size
 
 
@@ -115,10 +118,10 @@ def bench_cached_lookup(rounds=10000):
 
     cache = VerificationCache()
     cache.store(b"\x01" * 32, "example.com", object(), _FakeLeaf(), now=100)
-    t0 = time.perf_counter()
+    t0 = perf()
     for _ in range(rounds):
         cache.lookup(b"\x01" * 32, "example.com", 100)
-    return (time.perf_counter() - t0) / rounds
+    return (perf() - t0) / rounds
 
 
 def run(batch_size, workers, rounds):
@@ -149,13 +152,20 @@ def run(batch_size, workers, rounds):
             assert batch_is_valid(pvk, proofs, publics, engine=parallel)
 
         batched_workers()  # warm the pool outside the timer
+        with span("bench.verify.naive", batch=batch_size):
+            naive_s = time_per_proof(naive, batch_size, rounds)
+        with span("bench.verify.prepared", batch=batch_size):
+            prepared_pp = time_per_proof(prepared, batch_size, rounds)
+        with span("bench.verify.batched", batch=batch_size):
+            batched_pp = time_per_proof(batched, batch_size, rounds)
+        with span("bench.verify.batched_workers", batch=batch_size,
+                  workers=workers):
+            workers_pp = time_per_proof(batched_workers, batch_size, rounds)
         results = [
-            ("naive verify()", time_per_proof(naive, batch_size, rounds)),
-            ("prepared verify()", time_per_proof(prepared, batch_size, rounds)),
-            ("batched (N=%d)" % batch_size,
-             time_per_proof(batched, batch_size, rounds)),
-            ("batched + workers=%d" % workers,
-             time_per_proof(batched_workers, batch_size, rounds)),
+            ("naive verify()", naive_s),
+            ("prepared verify()", prepared_pp),
+            ("batched (N=%d)" % batch_size, batched_pp),
+            ("batched + workers=%d" % workers, workers_pp),
             ("cached (client hit)", bench_cached_lookup()),
         ]
         baseline = results[0][1]
@@ -168,7 +178,11 @@ def run(batch_size, workers, rounds):
         batched_vs_per_proof = prepared_s / batched_s
         print("\nbatched vs per-proof verify() at N=%d: %.2fx"
               % (batch_size, batched_vs_per_proof))
-        return batched_vs_per_proof
+        return batched_vs_per_proof, {
+            "batch": batch_size,
+            "per_proof_s": {name: s for name, s in results},
+            "batched_vs_prepared": batched_vs_per_proof,
+        }
     finally:
         parallel.close()
 
@@ -182,10 +196,24 @@ def main(argv=None):
     parser.add_argument("--batch", type=int, default=16)
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--trace", action="store_true",
+                        help="enable span tracing and print the span tree")
+    parser.add_argument("--no-record", action="store_true",
+                        help="skip writing BENCH_verify_throughput.json")
     args = parser.parse_args(argv)
 
     rounds = args.rounds or (1 if args.smoke else 3)
-    speedup = run(args.batch, args.workers, rounds)
+    if args.trace:
+        telemetry.enable()
+    speedup, results = run(args.batch, args.workers, rounds)
+    if args.trace:
+        print()
+        print(telemetry.render_trace())
+    if not args.no_record:
+        config = {"batch": args.batch, "workers": args.workers,
+                  "rounds": rounds, "smoke": args.smoke, "trace": args.trace}
+        print("wrote %s"
+              % write_bench_record("verify_throughput", config, results))
     if args.batch >= 16 and speedup < 2.0:
         raise SystemExit(
             "batched verification below the 2x target: %.2fx" % speedup

@@ -5,6 +5,8 @@ session (depth-1 toy statement, ~20k constraints) and is shared by the
 Figure 4 and Figure 5 benches, which need *real* proofs and verifications.
 """
 
+import os
+
 import pytest
 
 from repro.ca import AcmeServer, CertificationAuthority, CtLog, PlainDnsView
@@ -13,6 +15,39 @@ from repro.core import NopeClient, NopeProver, PinStore
 from repro.ec import TOY29
 from repro.profiles import TOY, build_hierarchy
 from repro.sig import EcdsaPrivateKey
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit one BENCH_<module>.json per pytest-benchmark module.
+
+    Mirrors the structured records the script-style benches write, so every
+    bench run — pytest or direct — leaves a machine-readable artifact.
+    Guarded defensively: absent or drifted pytest-benchmark internals must
+    never fail the bench session itself.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None)
+    if not benchmarks:
+        return
+    try:
+        from repro.telemetry.bench import write_bench_record
+
+        per_module = {}
+        for bench in benchmarks:
+            stats = getattr(bench, "stats", None)
+            if stats is None:
+                continue
+            module = bench.fullname.split("::")[0]
+            name = os.path.splitext(os.path.basename(module))[0]
+            per_module.setdefault(name, {})[bench.name] = {
+                "min_s": stats.min,
+                "mean_s": stats.mean,
+                "rounds": stats.rounds,
+            }
+        for name, results in per_module.items():
+            write_bench_record(name, {"pytest_benchmark": True}, results)
+    except Exception as exc:  # never fail the bench run over reporting
+        print("conftest: skipping BENCH_*.json emission: %s" % exc)
 
 
 @pytest.fixture(scope="session")

@@ -31,5 +31,43 @@ class SimClock:
         return "SimClock(%d)" % self._now
 
 
+class FakeClock:
+    """Deterministic stand-in for the telemetry clocks (wall/perf/CPU).
+
+    Every read returns the current value and advances it by ``tick``, so a
+    fixed sequence of reads yields a fixed sequence of timestamps — install
+    one via ``repro.telemetry.set_clock`` and the whole pipeline (span
+    durations, the Figure 5 issuance timeline, bench records) becomes
+    reproducible.  All three methods share a single stream: interleaved
+    wall and CPU reads advance the same counter, which keeps nested span
+    arithmetic deterministic without modelling separate clock domains.
+    """
+
+    def __init__(self, start=0.0, tick=1.0):
+        if tick < 0:
+            raise ValueError("time cannot go backwards")
+        self._now = float(start)
+        self.tick = float(tick)
+        self.reads = 0
+
+    def _read(self):
+        now = self._now
+        self._now += self.tick
+        self.reads += 1
+        return now
+
+    def time(self):
+        return self._read()
+
+    def perf(self):
+        return self._read()
+
+    def cpu(self):
+        return self._read()
+
+    def __repr__(self):
+        return "FakeClock(%r, tick=%r)" % (self._now, self.tick)
+
+
 HOUR = 3600
 DAY = 24 * HOUR

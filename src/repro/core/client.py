@@ -26,8 +26,13 @@ Revocation is never cached: on a hit the client still re-checks OCSP
 status, and a revoked or expired certificate is evicted, not served.
 """
 
+import logging
+
 from ..errors import CertificateError, EncodingError, ProofError, VerificationError
 from ..hashes.sha256 import sha256
+from ..telemetry import metrics as _metrics
+from ..telemetry.export import stats_line
+from ..telemetry.trace import span as _span
 from ..x509 import oid as OID
 from ..x509.cert import parse_sct_list
 from ..x509.san import decode_proof_sans, is_nope_san
@@ -35,6 +40,14 @@ from ..x509.validate import validate_chain
 from ..ca.ct import SignedCertificateTimestamp
 from ..ca.ocsp import STATUS_REVOKED
 from .common import SCT_TOLERANCE, input_digest, truncate_timestamp
+
+_CACHE_HIT = _metrics.counter("cache.hit")
+_CACHE_MISS = _metrics.counter("cache.miss")
+_CACHE_EXPIRED = _metrics.counter("cache.expired")
+_CACHE_EVICTED = _metrics.counter("cache.evicted")
+_CACHE_REVOCATION_REFUSED = _metrics.counter("cache.revocation_refused")
+
+_LOG = logging.getLogger("repro.core.client")
 
 
 class VerificationReport:
@@ -90,9 +103,24 @@ class VerificationCache:
         self._entries = {}
         self.hits = 0
         self.misses = 0
+        self.expirations = 0
+        self.evictions = 0
+        self.revocation_refused = 0
 
     def __len__(self):
         return len(self._entries)
+
+    def stats(self):
+        """Counters as a dict (also mirrored into the telemetry registry
+        under ``cache.*``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "expirations": self.expirations,
+            "evictions": self.evictions,
+            "revocation_refused": self.revocation_refused,
+            "entries": len(self._entries),
+        }
 
     def lookup(self, fingerprint, domain, now):
         """The cached :class:`VerificationReport`, or None (expired = None)."""
@@ -100,13 +128,24 @@ class VerificationCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            _CACHE_MISS.inc()
             return None
         if now < entry.not_before or now > entry.expires_at:
             del self._entries[key]
             self.misses += 1
+            self.expirations += 1
+            _CACHE_MISS.inc()
+            _CACHE_EXPIRED.inc()
             return None
         self.hits += 1
+        _CACHE_HIT.inc()
         return entry.report
+
+    def refuse_revoked(self, fingerprint):
+        """A cache hit was *not* served because revocation failed; evict."""
+        self.revocation_refused += 1
+        _CACHE_REVOCATION_REFUSED.inc()
+        self.invalidate(fingerprint)
 
     def store(self, fingerprint, domain, report, leaf, now, ocsp_response=None):
         """Remember a successful verification within its validity window."""
@@ -124,6 +163,8 @@ class VerificationCache:
                 self._entries, key=lambda k: self._entries[k].expires_at
             )
             del self._entries[victim]
+            self.evictions += 1
+            _CACHE_EVICTED.inc()
         self._entries[(fingerprint, domain)] = _CacheEntry(
             report, leaf.serial, leaf.not_before, expires_at
         )
@@ -172,6 +213,19 @@ class NopeClient:
     def register_statement(self, statement, keys):
         self.statements[statement.shape.id_string()] = (statement, keys)
 
+    def cache_summary(self):
+        """One-line verification-cache summary (empty string if no cache)."""
+        if self.verification_cache is None:
+            return ""
+        return stats_line("verification-cache", self.verification_cache.stats())
+
+    def log_cache_summary(self):
+        """Log the cache summary at INFO; returns the line for callers."""
+        line = self.cache_summary()
+        if line:
+            _LOG.info("%s", line)
+        return line
+
     # -- the connection-time check -------------------------------------------------
 
     def verify_server(self, domain, chain, now, ocsp_responder=None,
@@ -181,6 +235,12 @@ class NopeClient:
         Raises CertificateError/ProofError on rejection.
         """
         domain = domain.rstrip(".")
+        with _span("nope.verify_server", domain=domain):
+            return self._verify_server(
+                domain, chain, now, ocsp_responder, ocsp_response
+            )
+
+    def _verify_server(self, domain, chain, now, ocsp_responder, ocsp_response):
         fingerprint = None
         if self.verification_cache is not None and chain:
             fingerprint = leaf_fingerprint(chain[0])
@@ -242,7 +302,7 @@ class NopeClient:
                 ocsp_response = ocsp_responder.status(leaf.serial)
             status = ocsp_responder.verify_response(ocsp_response, now)
             if status == STATUS_REVOKED:
-                cache.invalidate(fingerprint)
+                cache.refuse_revoked(fingerprint)
                 raise CertificateError("certificate is revoked")
         return report
 

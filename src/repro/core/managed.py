@@ -13,6 +13,8 @@ zero knowledge.
 from ..dns.records import TYPE_TXT
 from ..errors import ProvingError
 from ..r1cs import ConstraintSystem
+from ..telemetry import clocks as _clocks
+from ..telemetry.trace import span as _span
 from .common import input_digest, truncate_timestamp
 from .prover import NopeProver
 from .statement import (
@@ -76,11 +78,11 @@ class ManagedNopeProver(NopeProver):
         # re-synthesize (structure is unchanged; the witness is not).
         if self.keys is None:
             raise ProvingError("run trusted_setup() first")
-        import time as _time
-
         if ts is None:
-            now = timer or _time.time
+            now = timer or _clocks.wall
             ts = clock.now() if clock is not None else int(now())
         ts = truncate_timestamp(ts)
-        cs = self.synthesize(tls_key_bytes, ca_name, ts)
-        return self.backend.prove(self.keys, cs), ts
+        with _span("nope.generate_proof", ts=ts, managed=True):
+            with _span("statement.bind"):
+                cs = self.synthesize(tls_key_bytes, ca_name, ts)
+            return self.backend.prove(self.keys, cs), ts

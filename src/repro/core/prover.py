@@ -6,12 +6,12 @@ DNS-01 exchange.  The result is a legacy certificate chain with the proof
 embedded — the CA never knows.
 """
 
-import time as _time
-
 from ..ca.acme import DNS_PROPAGATION_DELAY, respond_to_challenge
 from ..dns.name import DomainName
 from ..errors import ProvingError
 from ..r1cs import ConstraintSystem
+from ..telemetry import clocks as _clocks
+from ..telemetry.trace import span as _span
 from ..x509.csr import CertificateRequest
 from ..x509.san import encode_proof_sans
 from .backend import make_backend
@@ -113,19 +113,23 @@ class NopeProver:
         if self.keys is None:
             raise ProvingError("run trusted_setup() first")
         if ts is None:
-            now = timer or _time.time
+            # timer overrides the installed telemetry clock; both routes
+            # make one FakeClock injection cover ts and every span below
+            now = timer or _clocks.wall
             ts = clock.now() if clock is not None else int(now())
         ts = truncate_timestamp(ts)
         if isinstance(ca_name, str):
             ca_name = ca_name.encode()
-        cs = self._structure_cs()
-        self.statement.bind_witness(
-            cs,
-            input_digest(self.profile, tls_key_bytes),
-            input_digest(self.profile, ca_name),
-            ts,
-        )
-        return self.backend.prove(self.keys, cs), ts
+        with _span("nope.generate_proof", ts=ts):
+            cs = self._structure_cs()
+            with _span("statement.bind"):
+                self.statement.bind_witness(
+                    cs,
+                    input_digest(self.profile, tls_key_bytes),
+                    input_digest(self.profile, ca_name),
+                    ts,
+                )
+            return self.backend.prove(self.keys, cs), ts
 
     #: SAN metadata character: 0 = base NOPE, 1 = NOPE-managed
     san_metadata = 0
@@ -148,34 +152,38 @@ class NopeProver:
         wall time is read from ``timer`` (default: real wall clock); inject
         a fake timer to make the Figure 5 timeline reproducible under test.
         """
-        timer = timer or _time.time
+        timer = timer or _clocks.wall
         timeline = IssuanceTimeline()
         tls_key_bytes = self._spki_bytes(tls_private_key)
         # NOPE proof generation (steps 1-2): measured in wall-clock time
-        t0 = timer()
-        ca_name = acme_server.ca.org_name
-        proof_bytes, ts = self.generate_proof(
-            tls_key_bytes, ca_name, ts=clock.now()
-        )
-        proof_wall = timer() - t0
+        with _span("issuance.nope_proof_generation"):
+            t0 = timer()
+            ca_name = acme_server.ca.org_name
+            proof_bytes, ts = self.generate_proof(
+                tls_key_bytes, ca_name, ts=clock.now()
+            )
+            proof_wall = timer() - t0
         timeline.record("nope_proof_generation", proof_wall)
         clock.advance(max(1, int(proof_wall)))
         # ACME initiation (step 3)
-        t_start = clock.now()
-        order = acme_server.new_order(str(self.domain))
-        csr = self.build_csr(tls_private_key, proof_bytes)
-        timeline.record("acme_initiation", clock.now() - t_start + 1)
+        with _span("issuance.acme_initiation"):
+            t_start = clock.now()
+            order = acme_server.new_order(str(self.domain))
+            csr = self.build_csr(tls_private_key, proof_bytes)
+            timeline.record("acme_initiation", clock.now() - t_start + 1)
         clock.advance(1)
         # post the DNS challenge (step 4) and wait for propagation
-        respond_to_challenge(self.zone, order, acme_server)
-        self.zone.sign(clock.now(), clock.now() + 90 * 24 * 3600)
-        clock.advance(dns_propagation)
-        timeline.record("dns_propagation", dns_propagation)
+        with _span("issuance.dns_propagation", seconds=dns_propagation):
+            respond_to_challenge(self.zone, order, acme_server)
+            self.zone.sign(clock.now(), clock.now() + 90 * 24 * 3600)
+            clock.advance(dns_propagation)
+            timeline.record("dns_propagation", dns_propagation)
         # CA validation + issuance (steps 5-7)
-        t_start = clock.now()
-        acme_server.validate(order.order_id)
-        chain = acme_server.finalize(order.order_id, csr)
-        timeline.record("acme_verification", clock.now() - t_start)
+        with _span("issuance.acme_verification"):
+            t_start = clock.now()
+            acme_server.validate(order.order_id)
+            chain = acme_server.finalize(order.order_id, csr)
+            timeline.record("acme_verification", clock.now() - t_start)
         return chain, timeline
 
     @staticmethod

@@ -15,7 +15,7 @@ calibrates the same shape against *this* repository's pure-Python prover,
 for projecting local end-to-end times.
 """
 
-import time
+from ..telemetry.clocks import perf as _perf
 
 
 class LinearCostModel:
@@ -73,9 +73,9 @@ def calibrate_local_model(sizes=(2000, 8000)):
             acc = cs.mul(acc, x)
         cs.enforce_equal(acs := acc, acc)  # noqa: F841 (one final constraint)
         pk, vk, _ = setup(cs)
-        t0 = time.time()
+        t0 = _perf()
         prove(pk, cs)
-        points.append((cs.num_constraints, time.time() - t0))
+        points.append((cs.num_constraints, _perf() - t0))
     (m1, t1), (m2, t2) = points[0], points[-1]
     slope = (t2 - t1) / (m2 - m1)
     intercept = max(0.0, t1 - slope * m1)

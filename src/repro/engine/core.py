@@ -14,6 +14,8 @@ cannot create a process pool (restricted sandboxes, missing semaphores),
 the engine degrades to serial silently rather than failing the proof.
 """
 
+from ..telemetry import metrics as _metrics
+from ..telemetry.trace import span as _span
 from .config import EngineConfig
 from .fft import (
     cached_coset_fft,
@@ -33,6 +35,15 @@ from .prepared import (
 from .tables import cached_table
 
 _jacobian_groups = {}
+
+#: compute metrics (always on; see repro.telemetry.metrics) — observed once
+#: per kernel call, never inside an inner loop
+_MSM_POINTS = _metrics.histogram("msm.points")
+_MSM_CALLS = _metrics.counter("msm.calls")
+_POOL_TASKS = _metrics.counter("pool.tasks")
+_POOL_FALLBACKS = _metrics.counter("pool.fallbacks")
+_EVAL_ROWS_FULL = _metrics.counter("r1cs.rows.full")
+_R1CS_CONSTRAINTS = _metrics.gauge("r1cs.constraints")
 
 
 def _jacobian_group(curve):
@@ -96,18 +107,23 @@ class Engine:
     # -- MSM -------------------------------------------------------------------
 
     def _msm(self, group, bases, scalars):
+        _MSM_CALLS.inc()
+        _MSM_POINTS.observe(len(bases))
         pool = None
         if len(bases) >= self.config.min_parallel_msm:
             pool = self._get_pool()
-        if pool is not None:
-            try:
-                return msm_generic(
-                    group, bases, scalars, pool=pool, workers=self.config.workers
-                )
-            except Exception:
-                # a dead/forbidden pool must not kill the proof
-                self._mark_pool_broken()
-        return msm_generic(group, bases, scalars)
+        with _span("engine.msm", points=len(bases)):
+            if pool is not None:
+                try:
+                    return msm_generic(
+                        group, bases, scalars, pool=pool,
+                        workers=self.config.workers,
+                    )
+                except Exception:
+                    # a dead/forbidden pool must not kill the proof
+                    _POOL_FALLBACKS.inc()
+                    self._mark_pool_broken()
+            return msm_generic(group, bases, scalars)
 
     def msm_jacobian(self, curve, affine_bases, scalars):
         """Pippenger MSM over affine ``(x, y)`` tuples; Jacobian result."""
@@ -170,15 +186,25 @@ class Engine:
         ``m log m`` passes that parallelize perfectly.
         """
         pool = self._get_pool() if len(eval_vectors) > 1 else None
-        if pool is not None:
-            try:
-                futures = [
-                    pool.submit(coset_extend, vec, omega) for vec in eval_vectors
-                ]
-                return [fut.result() for fut in futures]
-            except Exception:
-                self._mark_pool_broken()
-        return [coset_extend(vec, omega) for vec in eval_vectors]
+        with _span("engine.coset_extend", vectors=len(eval_vectors)):
+            if pool is not None:
+                try:
+                    futures = [
+                        pool.submit(_metrics.run_with_delta, coset_extend, vec, omega)
+                        for vec in eval_vectors
+                    ]
+                    _POOL_TASKS.inc(len(futures))
+                    outs = [fut.result() for fut in futures]
+                except Exception:
+                    _POOL_FALLBACKS.inc()
+                    self._mark_pool_broken()
+                else:
+                    results = []
+                    for result, delta in outs:
+                        _metrics.merge_delta(delta)
+                        results.append(result)
+                    return results
+            return [coset_extend(vec, omega) for vec in eval_vectors]
 
     # -- generic fan-out -------------------------------------------------------
 
@@ -192,10 +218,21 @@ class Engine:
         pool = self._get_pool() if len(chunks) > 1 else None
         if pool is not None:
             try:
-                futures = [pool.submit(fn, chunk) for chunk in chunks]
-                return [fut.result() for fut in futures]
+                futures = [
+                    pool.submit(_metrics.run_with_delta, fn, chunk)
+                    for chunk in chunks
+                ]
+                _POOL_TASKS.inc(len(futures))
+                outs = [fut.result() for fut in futures]
             except Exception:
+                _POOL_FALLBACKS.inc()
                 self._mark_pool_broken()
+            else:
+                results = []
+                for result, delta in outs:
+                    _metrics.merge_delta(delta)
+                    results.append(result)
+                return results
         return [fn(chunk) for chunk in chunks]
 
     # -- compiled circuits -------------------------------------------------------
@@ -203,7 +240,8 @@ class Engine:
     def compile(self, system):
         """The memoized :class:`~repro.r1cs.compiled.CompiledCircuit` for a
         synthesized system (keyed by ``structure_hash()``)."""
-        return compile_system(system)
+        with _span("engine.compile", constraints=system.num_constraints):
+            return compile_system(system)
 
     def evaluate_r1cs(self, system):
         """Single-pass A/B/C evaluation + satisfaction check via the
@@ -223,27 +261,40 @@ class Engine:
         from ..r1cs.compiled import eval_rows
 
         compiled = self.compile(system)
+        _R1CS_CONSTRAINTS.set(compiled.num_constraints)
         values = system.values
         dirty = system._dirty_wires  # None = tracking off
         if dirty is not None:
             cached = eval_cache_get(system, compiled)
             if cached is not None:
-                if not dirty:
-                    return compiled, cached
-                evals = compiled.update_evals(cached, values, dirty)
-                system._dirty_wires = set()
-                eval_cache_put(system, compiled, evals)
-                return compiled, evals
+                with _span(
+                    "engine.evaluate_r1cs",
+                    constraints=compiled.num_constraints,
+                    mode="incremental",
+                    dirty_wires=len(dirty),
+                ):
+                    if not dirty:
+                        return compiled, cached
+                    evals = compiled.update_evals(cached, values, dirty)
+                    system._dirty_wires = set()
+                    eval_cache_put(system, compiled, evals)
+                    return compiled, evals
         chunks = 1
         if (
             self.config.workers > 1
             and compiled.num_constraints >= self.config.min_parallel_rows
         ):
             chunks = self.config.workers
-        parts = self.map_chunks(
-            eval_rows, compiled.chunk_payloads(values, chunks)
-        )
-        evals = compiled.merge_chunks(parts)
+        with _span(
+            "engine.evaluate_r1cs",
+            constraints=compiled.num_constraints,
+            mode="full",
+        ):
+            _EVAL_ROWS_FULL.inc(compiled.num_constraints)
+            parts = self.map_chunks(
+                eval_rows, compiled.chunk_payloads(values, chunks)
+            )
+            evals = compiled.merge_chunks(parts)
         if dirty is not None:
             system._dirty_wires = set()
             eval_cache_put(system, compiled, evals)

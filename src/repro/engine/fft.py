@@ -11,8 +11,14 @@ tables amortize to zero.
 
 from ..ec.curves import BN254_R
 from ..errors import ProvingError
+from ..telemetry import metrics as _metrics
 
 R = BN254_R
+
+#: one observation per forward transform (inverse/coset variants funnel
+#: through cached_fft, so they are counted too); recorded in whichever
+#: process runs the transform and shipped back from worker pools
+_FFT_SIZE = _metrics.histogram("fft.size")
 
 #: Multiplicative generator of Fr* (standard for BN254).
 GENERATOR = 5
@@ -79,6 +85,7 @@ def cached_fft(values, omega):
     n = len(values)
     if n & (n - 1):
         raise ProvingError("fft length must be a power of two")
+    _FFT_SIZE.observe(n)
     a = list(values)
     if n == 1:
         return a

@@ -15,6 +15,11 @@ same sum — serial and parallel results are identical.
 
 import math
 
+from ..telemetry import metrics as _metrics
+
+_WINDOW_TASKS = _metrics.counter("msm.window_tasks")
+_POOL_TASKS = _metrics.counter("pool.tasks")
+
 
 def _window_bits(n):
     """Pippenger window size heuristic for an n-point MSM."""
@@ -48,13 +53,20 @@ def _windows_task(group, bases, scalars, c, mask, windows):
 def _window_sums_parallel(pool, workers, group, bases, scalars, c, num_windows, mask):
     slices = [list(range(i, num_windows, workers)) for i in range(workers)]
     futures = [
-        pool.submit(_windows_task, group, bases, scalars, c, mask, s)
+        pool.submit(
+            _metrics.run_with_delta, _windows_task, group, bases, scalars, c, mask, s
+        )
         for s in slices
         if s
     ]
+    _POOL_TASKS.inc(len(futures))
+    # resolve every future before merging deltas: a raise here falls back
+    # to the serial path, which must not see partial worker counts
+    outs = [fut.result() for fut in futures]
     sums = [None] * num_windows
-    for fut in futures:
-        for w, ws in fut.result():
+    for part, delta in outs:
+        _metrics.merge_delta(delta)
+        for w, ws in part:
             sums[w] = ws
     return sums
 
@@ -85,6 +97,9 @@ def msm_generic(group, bases, scalars, pool=None, workers=1):
     max_bits = max(k.bit_length() for k in scalars)
     num_windows = (max_bits + c - 1) // c or 1
     mask = (1 << c) - 1
+    # counted here (not in the worker task) so serial and pool-sliced runs
+    # agree on the total regardless of how the windows were dispatched
+    _WINDOW_TASKS.inc(num_windows)
     if pool is not None and workers > 1 and num_windows > 1:
         sums = _window_sums_parallel(
             pool, workers, group, bases, scalars, c, num_windows, mask

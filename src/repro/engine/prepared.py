@@ -25,6 +25,13 @@ on repeat proofs.
 
 import weakref
 
+from ..telemetry import metrics as _metrics
+
+_COMPILE_HIT = _metrics.counter("engine.compile.hit")
+_COMPILE_MISS = _metrics.counter("engine.compile.miss")
+_EVAL_CACHE_HIT = _metrics.counter("engine.evalcache.hit")
+_EVAL_CACHE_MISS = _metrics.counter("engine.evalcache.miss")
+
 _PREPARED = weakref.WeakKeyDictionary()
 
 #: structure-hash -> CompiledCircuit (structures per process are few)
@@ -41,8 +48,11 @@ def compile_system(system):
     if compiled is None:
         from ..r1cs.compiled import CompiledCircuit
 
+        _COMPILE_MISS.inc()
         compiled = CompiledCircuit.from_system(system)
         _COMPILED[key] = compiled
+    else:
+        _COMPILE_HIT.inc()
     return compiled
 
 
@@ -51,7 +61,9 @@ def eval_cache_get(system, compiled):
     structure (the compiled-object identity guards staleness)."""
     entry = _EVAL_CACHE.get(system)
     if entry is not None and entry[0] is compiled:
+        _EVAL_CACHE_HIT.inc()
         return entry[1]
+    _EVAL_CACHE_MISS.inc()
     return None
 
 

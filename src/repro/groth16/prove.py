@@ -25,6 +25,7 @@ from ..ec.curves import BN254_R
 from ..engine import get_engine
 from ..errors import ProvingError
 from ..r1cs.system import unsatisfied_error
+from ..telemetry.trace import span as _span
 from .fft import GENERATOR, domain_root
 from .keys import Proof
 from .setup import _next_pow2
@@ -67,6 +68,12 @@ def compute_h_coefficients(structure, engine=None, evals=None):
     eng = get_engine(engine)
     m = structure.constraint_count
     d = _next_pow2(max(m, 2))
+    with _span("groth16.h_coefficients", constraints=m, domain=d):
+        return _h_coefficients(structure, eng, d, evals)
+
+
+def _h_coefficients(structure, eng, d, evals):
+    m = structure.constraint_count
     omega = domain_root(d)
     a_evals = [0] * d
     b_evals = [0] * d
@@ -111,40 +118,46 @@ def prove(pk, system, rng=None, engine=None, use_compiled=True):
     if system.counting_only:
         raise ProvingError("cannot prove a counting-only system")
     eng = get_engine(engine)
-    prep = eng.prepare(pk)
-    curve = prep.curve
-    z = system.full_assignment()
-    num_vars = len(z)
-    if num_vars != len(pk.a_query):
-        raise ProvingError("proving key does not match this statement")
-    if use_compiled:
-        _, evals = eng.evaluate_r1cs(system)
-    else:
-        evals = evaluate_constraints(system)
-    rand = rng or (lambda: secrets.randbelow(R))
-    r = rand()
-    s = rand()
-    h_coeffs = compute_h_coefficients(system, eng, evals=evals)
+    with _span("groth16.prove", constraints=system.constraint_count):
+        prep = eng.prepare(pk)
+        curve = prep.curve
+        z = system.full_assignment()
+        num_vars = len(z)
+        if num_vars != len(pk.a_query):
+            raise ProvingError("proving key does not match this statement")
+        with _span("prove.evaluate"):
+            if use_compiled:
+                _, evals = eng.evaluate_r1cs(system)
+            else:
+                evals = evaluate_constraints(system)
+        rand = rng or (lambda: secrets.randbelow(R))
+        r = rand()
+        s = rand()
+        h_coeffs = compute_h_coefficients(system, eng, evals=evals)
 
-    a_bases, a_sc = prep.a.gather(z)
-    g1_a = eng.msm_affine_point(curve, a_bases, a_sc)
-    # A = alpha + sum z_i A_i(tau) + r*delta
-    g1_a = pk.alpha_g1 + g1_a + r * pk.delta_g1
+        with _span("prove.msm.a"):
+            a_bases, a_sc = prep.a.gather(z)
+            g1_a = eng.msm_affine_point(curve, a_bases, a_sc)
+            # A = alpha + sum z_i A_i(tau) + r*delta
+            g1_a = pk.alpha_g1 + g1_a + r * pk.delta_g1
 
-    b1_bases, b1_sc = prep.b_g1.gather(z)
-    g1_b = eng.msm_affine_point(curve, b1_bases, b1_sc)
-    g1_b = pk.beta_g1 + g1_b + s * pk.delta_g1
+        with _span("prove.msm.b_g1"):
+            b1_bases, b1_sc = prep.b_g1.gather(z)
+            g1_b = eng.msm_affine_point(curve, b1_bases, b1_sc)
+            g1_b = pk.beta_g1 + g1_b + s * pk.delta_g1
 
-    b2_bases, b2_sc = prep.b_g2.gather(z)
-    g2_b = eng.msm_g2(b2_bases, b2_sc)
-    g2_b = pk.beta_g2 + g2_b + s * pk.delta_g2
+        with _span("prove.msm.b_g2"):
+            b2_bases, b2_sc = prep.b_g2.gather(z)
+            g2_b = eng.msm_g2(b2_bases, b2_sc)
+            g2_b = pk.beta_g2 + g2_b + s * pk.delta_g2
 
-    # C = sum_w z_i L_i/delta + sum h_k tau^k Z/delta + s*A + r*B1 - rs*delta
-    wit_start = 1 + system.num_public
-    l_bases, l_sc = prep.l.gather(z, offset=wit_start)
-    h_bases, h_sc = prep.h.gather(h_coeffs)
-    g1_c = eng.msm_affine_point(curve, l_bases + h_bases, l_sc + h_sc)
-    g1_c = (
-        g1_c + s * g1_a + r * g1_b + ((-(r * s)) % R) * pk.delta_g1
-    )
-    return Proof(g1_a, g2_b, g1_c)
+        # C = sum_w z_i L_i/delta + sum h_k tau^k Z/delta + s*A + r*B1 - rs*delta
+        with _span("prove.msm.c"):
+            wit_start = 1 + system.num_public
+            l_bases, l_sc = prep.l.gather(z, offset=wit_start)
+            h_bases, h_sc = prep.h.gather(h_coeffs)
+            g1_c = eng.msm_affine_point(curve, l_bases + h_bases, l_sc + h_sc)
+            g1_c = (
+                g1_c + s * g1_a + r * g1_b + ((-(r * s)) % R) * pk.delta_g1
+            )
+        return Proof(g1_a, g2_b, g1_c)

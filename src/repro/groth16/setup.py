@@ -17,6 +17,7 @@ from ..ec.curves import BN254_G1, BN254_R
 from ..engine import get_engine
 from ..errors import ProvingError
 from ..pairing.bn254 import G2Point, G2_GENERATOR
+from ..telemetry.trace import span as _span
 from .fft import domain_root
 from .keys import ProvingKey, ToxicWaste, VerifyingKey
 
@@ -89,9 +90,19 @@ def setup(structure, rng=None, engine=None):
     if structure.counting_only:
         raise ProvingError("cannot set up a counting-only system")
     eng = get_engine(engine)
+    with _span(
+        "groth16.setup",
+        constraints=structure.constraint_count,
+        variables=structure.num_variables,
+    ):
+        return _setup(structure, eng, rng)
+
+
+def _setup(structure, eng, rng):
     rand = rng or (lambda: secrets.randbelow(R - 1) + 1)
     tau, alpha, beta, gamma, delta = (rand() for _ in range(5))
-    a_vals, b_vals, c_vals, d, z_tau = evaluate_qap_at(structure, tau)
+    with _span("setup.qap"):
+        a_vals, b_vals, c_vals, d, z_tau = evaluate_qap_at(structure, tau)
     num_vars = structure.num_variables
     num_public = structure.num_public
     gamma_inv = pow(gamma, -1, R)
@@ -100,24 +111,25 @@ def setup(structure, rng=None, engine=None):
     g1_table = eng.fixed_base_table(G1, BN254_G1.infinity, R.bit_length())
     g2_table = eng.fixed_base_table(G2, G2Point.infinity(), R.bit_length())
 
-    a_query = [g1_table.mul(a_vals[i]) for i in range(num_vars)]
-    b_g1_query = [g1_table.mul(b_vals[i]) for i in range(num_vars)]
-    b_g2_query = [g2_table.mul(b_vals[i]) for i in range(num_vars)]
-    ic = []
-    l_query = []
-    for i in range(num_vars):
-        combined = (beta * a_vals[i] + alpha * b_vals[i] + c_vals[i]) % R
-        if i <= num_public:
-            ic.append(g1_table.mul(combined * gamma_inv % R))
-        else:
-            l_query.append(g1_table.mul(combined * delta_inv % R))
-    # h query: tau^i * Z(tau) / delta for i in 0..d-2
-    h_query = []
-    factor = z_tau * delta_inv % R
-    power = factor
-    for _ in range(d - 1):
-        h_query.append(g1_table.mul(power))
-        power = power * tau % R
+    with _span("setup.queries", variables=num_vars, domain=d):
+        a_query = [g1_table.mul(a_vals[i]) for i in range(num_vars)]
+        b_g1_query = [g1_table.mul(b_vals[i]) for i in range(num_vars)]
+        b_g2_query = [g2_table.mul(b_vals[i]) for i in range(num_vars)]
+        ic = []
+        l_query = []
+        for i in range(num_vars):
+            combined = (beta * a_vals[i] + alpha * b_vals[i] + c_vals[i]) % R
+            if i <= num_public:
+                ic.append(g1_table.mul(combined * gamma_inv % R))
+            else:
+                l_query.append(g1_table.mul(combined * delta_inv % R))
+        # h query: tau^i * Z(tau) / delta for i in 0..d-2
+        h_query = []
+        factor = z_tau * delta_inv % R
+        power = factor
+        for _ in range(d - 1):
+            h_query.append(g1_table.mul(power))
+            power = power * tau % R
     vk = VerifyingKey(
         alpha_g1=g1_table.mul(alpha),
         beta_g2=g2_table.mul(beta),

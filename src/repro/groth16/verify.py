@@ -30,10 +30,14 @@ from ..pairing.ate import (
     pairing_check,
     prepare_g2,
 )
+from ..telemetry import metrics as _metrics
+from ..telemetry.trace import span as _span
 from .rerandomize import proof_in_groups
 from .serialize import proof_to_bytes
 
 R = BN254_R
+
+_BATCH_SIZE = _metrics.histogram("batch.size")
 
 #: Fiat–Shamir coefficients are this many bits (128-bit soundness slack is
 #: far beyond the 2^-100 batching literature asks for).
@@ -101,20 +105,24 @@ def _ic_combination(vk, public_inputs, engine):
 
 def verify(pvk, proof, public_inputs, engine=None):
     """Check a proof against public inputs; raises ProofError on failure."""
-    pvk = prepare(pvk)
-    _check_proof(pvk.vk, proof, public_inputs)
-    ic_point = _ic_combination(pvk.vk, public_inputs, engine)
-    # e(A, B) == e(alpha, beta) * e(IC, gamma) * e(C, delta), checked as
-    # e(-A, B) * e(IC, gamma) * e(C, delta) * e(alpha, beta) == 1.
-    if not pairing_check(
-        [
-            (-proof.a, proof.b),
-            (ic_point, pvk.gamma_prepared),
-            (proof.c, pvk.delta_prepared),
-        ],
-        gt_factor=pvk.alpha_beta,
-    ):
-        raise ProofError("Groth16 pairing check failed")
+    with _span("groth16.verify", public_inputs=len(public_inputs)):
+        pvk = prepare(pvk)
+        _check_proof(pvk.vk, proof, public_inputs)
+        with _span("verify.ic_msm"):
+            ic_point = _ic_combination(pvk.vk, public_inputs, engine)
+        # e(A, B) == e(alpha, beta) * e(IC, gamma) * e(C, delta), checked as
+        # e(-A, B) * e(IC, gamma) * e(C, delta) * e(alpha, beta) == 1.
+        with _span("verify.pairing"):
+            ok = pairing_check(
+                [
+                    (-proof.a, proof.b),
+                    (ic_point, pvk.gamma_prepared),
+                    (proof.c, pvk.delta_prepared),
+                ],
+                gt_factor=pvk.alpha_beta,
+            )
+        if not ok:
+            raise ProofError("Groth16 pairing check failed")
 
 
 def is_valid(pvk, proof, public_inputs, engine=None):
@@ -169,16 +177,24 @@ def _batch_check(pvk, proofs, public_inputs_list, engine):
     """
     eng = get_engine(engine)
     vk = pvk.vk
+    _BATCH_SIZE.observe(len(proofs))
+    with _span("groth16.verify_batch", proofs=len(proofs)):
+        return _batch_equation(eng, pvk, vk, proofs, public_inputs_list)
+
+
+def _batch_equation(eng, pvk, vk, proofs, public_inputs_list):
     coeffs = batch_coefficients(proofs, public_inputs_list)
     scale = sum(coeffs) % R
     # One IC MSM for the whole batch: the z-weighted public inputs fold
     # into per-column scalars, so the MSM size stays num_public + 1.
-    ic_scalars = [scale]
-    for j in range(vk.num_public):
-        ic_scalars.append(
-            sum(z * (xs[j] % R) for z, xs in zip(coeffs, public_inputs_list)) % R
-        )
-    ic_point = eng.msm_points(vk.ic, ic_scalars)
+    with _span("verify.ic_msm", batch=len(proofs)):
+        ic_scalars = [scale]
+        for j in range(vk.num_public):
+            ic_scalars.append(
+                sum(z * (xs[j] % R) for z, xs in zip(coeffs, public_inputs_list))
+                % R
+            )
+        ic_point = eng.msm_points(vk.ic, ic_scalars)
     c_point = eng.msm_points([proof.c for proof in proofs], coeffs)
     # -z_i * A_i via the engine's Jacobian ladder (no per-step inversions)
     ab_pairs = [
@@ -192,17 +208,18 @@ def _batch_check(pvk, proofs, public_inputs_list, engine):
         (c_point, pvk.delta_prepared),
         (eng.msm_points([vk.alpha_g1], [scale]), pvk.beta_prepared),
     ]
-    if eng.workers > 1 and len(ab_pairs) > 1:
-        # Slice the per-proof Miller loops across the pool; the prepared
-        # tail stays in-process (G2Prepared lines are large and already
-        # cheap to evaluate).
-        n_chunks = min(eng.workers, len(ab_pairs))
-        chunks = [ab_pairs[i::n_chunks] for i in range(n_chunks)]
-        f = multi_miller(tail)
-        for part in eng.map_chunks(_batch_miller_slice, chunks):
-            f = f * part
-        return final_exponentiation(f).is_one()
-    return pairing_check(ab_pairs + tail)
+    with _span("verify.pairing", batch=len(proofs)):
+        if eng.workers > 1 and len(ab_pairs) > 1:
+            # Slice the per-proof Miller loops across the pool; the prepared
+            # tail stays in-process (G2Prepared lines are large and already
+            # cheap to evaluate).
+            n_chunks = min(eng.workers, len(ab_pairs))
+            chunks = [ab_pairs[i::n_chunks] for i in range(n_chunks)]
+            f = multi_miller(tail)
+            for part in eng.map_chunks(_batch_miller_slice, chunks):
+                f = f * part
+            return final_exponentiation(f).is_one()
+        return pairing_check(ab_pairs + tail)
 
 
 def _bisect_failures(pvk, proofs, public_inputs_list, indices, engine):

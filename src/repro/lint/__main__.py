@@ -16,8 +16,8 @@ Exit status is decided against the checked-in baseline: ``--fail-on new``
 
 import argparse
 import sys
-import time
 
+from ..telemetry.clocks import perf as _perf
 from .circuit import DEFAULT_SEED, audit_system
 from .hygiene import lint_tree
 from .registry import GADGET_AUDITS, build_gadget_system
@@ -61,7 +61,7 @@ def _statement_findings(probe, probe_rounds, seed):
 def _gadget_findings(names, probe, probe_rounds, seed, verbose):
     findings = []
     for name in names:
-        t0 = time.perf_counter()
+        t0 = _perf()
         cs = build_gadget_system(name)
         findings.extend(
             audit_system(
@@ -71,7 +71,7 @@ def _gadget_findings(names, probe, probe_rounds, seed, verbose):
         if verbose:
             print(
                 "  audited %-28s %6d constraints  %5.2fs"
-                % (name, cs.num_constraints, time.perf_counter() - t0),
+                % (name, cs.num_constraints, _perf() - t0),
                 file=sys.stderr,
             )
     return findings
@@ -152,11 +152,11 @@ def main(argv=None):
     if target in ("all", "statement"):
         if args.verbose:
             print("synthesizing + auditing the toy statement...", file=sys.stderr)
-        t0 = time.perf_counter()
+        t0 = _perf()
         findings.extend(_statement_findings(probe, args.probe_rounds, seed))
         if args.verbose:
             print(
-                "  statement audited in %.2fs" % (time.perf_counter() - t0),
+                "  statement audited in %.2fs" % (_perf() - t0),
                 file=sys.stderr,
             )
 

@@ -18,6 +18,12 @@ Repo rules enforced (each a check name, keyed per file + enclosing scope):
 * ``bare-except``      — ``except:`` with no exception class.
 * ``mutable-default``  — ``def f(x=[])``-style defaults (lists, dicts,
   sets, or calls to their constructors).
+* ``direct-time``      — ``time.time()`` / ``time.perf_counter()`` /
+  ``time.monotonic()`` / ``time.process_time()`` calls (or the equivalent
+  ``from time import ...`` names) outside ``telemetry/``; all clock reads
+  must funnel through :mod:`repro.telemetry.clocks` so one injected clock
+  makes traces, timelines, and benchmarks deterministic.  Severity:
+  warning (baseline-gated like everything else).
 
 All checks are static and syntactic: they cannot see through aliasing
 (``import random as r``) beyond the patterns above, which is acceptable
@@ -40,6 +46,13 @@ FLOAT_PATHS = ("field/", "ec/", "pairing/")
 
 #: identifier tokens that mark an authenticator-ish value
 _DIGEST_TOKENS = {"digest", "hmac", "mac", "fingerprint"}
+
+#: clock-reading functions of the ``time`` module (formatting helpers like
+#: ``gmtime(epoch)``/``strftime`` are fine — they convert, they don't read)
+_CLOCK_READS = {"time", "perf_counter", "monotonic", "process_time"}
+
+#: modules whose own job is reading clocks
+_CLOCK_EXEMPT_PATHS = ("telemetry/",)
 
 #: trailing tokens that mark a *metadata* name, not the bytes themselves
 _EXEMPT_TAILS = {"type", "types", "len", "length", "size", "id", "alg"}
@@ -112,6 +125,7 @@ class _Scope(ast.NodeVisitor):
         self.stack = []
         self.in_crypto = relpath.startswith(CRYPTO_PATHS)
         self.in_float_ban = relpath.startswith(FLOAT_PATHS)
+        self.clock_exempt = relpath.startswith(_CLOCK_EXEMPT_PATHS)
 
     def scope(self):
         return ".".join(self.stack) if self.stack else "<module>"
@@ -166,6 +180,14 @@ class _Scope(ast.NodeVisitor):
                 "random-module", self._random_severity(), node,
                 "import from the non-cryptographic `random` module",
             )
+        if node.module == "time" and not self.clock_exempt:
+            for alias in node.names:
+                if alias.name in _CLOCK_READS:
+                    self.add(
+                        "direct-time", "warning", node,
+                        "`from time import %s` bypasses the telemetry clock; "
+                        "use repro.telemetry.clocks" % alias.name,
+                    )
         self.generic_visit(node)
 
     def visit_Attribute(self, node):
@@ -234,6 +256,19 @@ class _Scope(ast.NodeVisitor):
             self.add(
                 "float-in-field", "error", node,
                 "float() conversion in an exact-arithmetic layer",
+            )
+        if (
+            not self.clock_exempt
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in ("time", "_time")
+            and node.func.attr in _CLOCK_READS
+        ):
+            self.add(
+                "direct-time", "warning", node,
+                "direct `time.%s()` call; clock reads must go through "
+                "repro.telemetry.clocks so injected clocks cover every "
+                "timing site" % node.func.attr,
             )
         self.generic_visit(node)
 

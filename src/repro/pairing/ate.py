@@ -21,6 +21,7 @@ accepts a :class:`G2Prepared` wherever it accepts a ``G2Point``.
 
 from ..errors import CurveError
 from ..field.extension import BN254_P, Fq12
+from ..telemetry.trace import span as _span
 from .bn254 import ATE_LOOP_COUNT, BN254_R, embed_g1, untwist
 
 _P = BN254_P
@@ -235,7 +236,10 @@ def multi_miller(pairs):
 
 def multi_pairing(pairs):
     """prod e(P_i, Q_i) with a single shared final exponentiation."""
-    return final_exponentiation(multi_miller(pairs))
+    with _span("pairing.miller", pairs=len(pairs)):
+        f = multi_miller(pairs)
+    with _span("pairing.final_exp"):
+        return final_exponentiation(f)
 
 
 def pairing_check(pairs, gt_factor=None):

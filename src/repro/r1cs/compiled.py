@@ -35,7 +35,12 @@ order and are byte-identical to serial evaluation.
 
 from operator import mul
 
+from ..telemetry import metrics as _metrics
 from .system import unsatisfied_error
+
+#: rows re-evaluated per incremental witness re-bind (the Fig. 5 repeat-
+#: issuance path touches 3 rows out of the full statement)
+_DIRTY_ROWS = _metrics.histogram("r1cs.rows.incremental")
 
 #: keep small negative coefficients in signed form (|c| below this bound)
 #: so their products stay single-limb instead of (r - c)-sized
@@ -252,6 +257,7 @@ class CompiledCircuit:
         b_evals = list(evals[1])
         c_evals = list(evals[2])
         rows = self.rows_touching(changed_wires)
+        _DIRTY_ROWS.observe(len(rows))
         for i in rows:
             a_evals[i] = _eval_row_slice(self.a.rows[i : i + 1], values, p)[0]
             b_evals[i] = _eval_row_slice(self.b.rows[i : i + 1], values, p)[0]

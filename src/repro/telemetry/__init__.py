@@ -1,0 +1,84 @@
+"""repro.telemetry: tracing, metrics, and profiling for the NOPE pipeline.
+
+A zero-dependency observability layer with three parts:
+
+* **spans** (:mod:`.trace`) — hierarchical wall + CPU timing, off by
+  default with a near-free no-op path; ``enable()`` turns recording on;
+* **metrics** (:mod:`.metrics`) — always-on counters, gauges, and
+  fixed-bucket histograms in a process-global registry, with deltas
+  shipped back from the engine's worker pools so serial and parallel runs
+  agree on totals;
+* **exporters** (:mod:`.export`, :mod:`.bench`) — the human span tree,
+  JSON ``BENCH_<name>.json`` records, and Prometheus-style text.
+
+All time reads flow through :mod:`.clocks`; install a
+``repro.clock.FakeClock`` there to make traces — and the prover's Fig. 5
+timeline — deterministic.
+
+Run ``python -m repro.telemetry`` for a traced miniature prover pipeline.
+"""
+
+from . import clocks, export, metrics
+from .bench import build_record, git_rev, validate_file, write_bench_record
+from .clocks import get_clock, set_clock, use_clock
+from .export import (
+    metrics_signature,
+    render_prometheus,
+    render_span_tree,
+    spans_to_dicts,
+    stats_line,
+    trace_signature,
+)
+from .metrics import REGISTRY, Counter, Gauge, Histogram
+from .trace import NOOP_SPAN, TRACER, Span, disable, enable, is_enabled, span, traced
+
+
+def render_trace(include_timings=True):
+    """The recorded span forest as an indented text tree."""
+    return render_span_tree(TRACER.roots, include_timings=include_timings)
+
+
+def snapshot():
+    """The global metrics registry's current snapshot."""
+    return metrics.snapshot()
+
+
+def reset():
+    """Drop recorded spans and zero every metric (clock stays installed)."""
+    TRACER.reset()
+    metrics.reset()
+
+
+__all__ = [
+    "REGISTRY",
+    "TRACER",
+    "NOOP_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "build_record",
+    "clocks",
+    "disable",
+    "enable",
+    "export",
+    "get_clock",
+    "git_rev",
+    "is_enabled",
+    "metrics",
+    "metrics_signature",
+    "render_prometheus",
+    "render_span_tree",
+    "render_trace",
+    "reset",
+    "set_clock",
+    "snapshot",
+    "span",
+    "spans_to_dicts",
+    "stats_line",
+    "trace_signature",
+    "traced",
+    "use_clock",
+    "validate_file",
+    "write_bench_record",
+]

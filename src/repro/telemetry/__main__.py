@@ -1,0 +1,126 @@
+"""``python -m repro.telemetry`` — traced demo pipeline + record checker.
+
+Subcommands:
+
+* ``demo`` (default) — run a miniature statement-shaped prover pipeline
+  with tracing enabled and print the nested span tree (compile -> bind ->
+  evaluate -> h-coefficients -> MSM -> pairing) plus the metrics snapshot;
+  ``--json`` also writes a ``BENCH_telemetry_demo.json`` record.
+* ``check FILE...`` — schema-validate ``BENCH_*.json`` records (the CI
+  telemetry job runs this against the smoke bench's output).
+"""
+
+import argparse
+import sys
+
+from . import (
+    enable,
+    metrics,
+    render_prometheus,
+    render_trace,
+    span,
+    validate_file,
+    write_bench_record,
+)
+
+
+def _demo_circuit(m):
+    """A statement-shaped system: three re-bindable public inputs plus
+    ``m`` constraints of bulk logic (miniature of the prover bench)."""
+    from ..ec.curves import BN254_R
+    from ..field import PrimeField
+    from ..r1cs import ConstraintSystem
+
+    cs = ConstraintSystem(PrimeField(BN254_R))
+    t = cs.alloc_public(0, "T")
+    n = cs.alloc_public(0, "N")
+    ts = cs.alloc_public(0, "TS")
+    wires = tuple(next(iter(lc.terms)) for lc in (t, n, ts))
+    for bound in (t, n, ts):
+        cs.enforce(bound, cs.one, bound, "bind")
+    small = [cs.alloc((i * 37 + 11) % 251, "byte%d" % i) for i in range(16)]
+    acc = cs.alloc(7, "seed")
+    cs.enforce_equal(acc, cs.constant(7), "seed.eq")
+    for i in range(m):
+        acc = cs.mul(acc, small[i % len(small)] + 1, "bulk%d" % i)
+    cs.enable_value_tracking()
+    return cs, wires
+
+
+def demo(args):
+    from ..engine import get_engine
+    from ..groth16 import prepare, prove, setup, verify
+
+    enable(profile=args.profile)
+    eng = get_engine()
+    with span("demo.pipeline", m=args.m):
+        with span("demo.synthesize"):
+            cs, wires = _demo_circuit(args.m)
+        with span("demo.setup"):
+            pk, vk, _ = setup(cs)
+        with span("demo.bind"):
+            for wire, value in zip(wires, (101, 202, 303)):
+                cs.set_value(wire, value)
+        eng.evaluate_r1cs(cs)  # seed the eval cache (full pass)
+        with span("demo.rebind"):
+            for wire, value in zip(wires, (111, 222, 333)):
+                cs.set_value(wire, value)
+        with span("demo.prove", profile=args.profile):
+            proof = prove(pk, cs)
+        with span("demo.verify"):
+            verify(prepare(vk), proof, cs.public_inputs())
+
+    print("== span tree ==")
+    print(render_trace())
+    print()
+    print("== metrics ==")
+    print(render_prometheus(metrics.snapshot()))
+    if args.json:
+        path = write_bench_record(
+            "telemetry_demo",
+            {"m": args.m, "profile": args.profile},
+            {"ok": True},
+        )
+        print("\nwrote %s" % path)
+    return 0
+
+
+def check(args):
+    bad = 0
+    for path in args.files:
+        problems = validate_file(path)
+        if problems:
+            bad += 1
+            print("%s: INVALID" % path)
+            for problem in problems:
+                print("  - %s" % problem)
+        else:
+            print("%s: ok" % path)
+    return 1 if bad else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="traced demo prover pipeline / BENCH record checker",
+    )
+    sub = parser.add_subparsers(dest="command")
+    demo_p = sub.add_parser("demo", help="run the traced miniature pipeline")
+    demo_p.add_argument("-m", type=int, default=48, help="bulk constraints")
+    demo_p.add_argument("--profile", action="store_true",
+                        help="attach cProfile to the prove span")
+    demo_p.add_argument("--json", action="store_true",
+                        help="also write BENCH_telemetry_demo.json")
+    check_p = sub.add_parser("check", help="validate BENCH_*.json records")
+    check_p.add_argument("files", nargs="+")
+    args = parser.parse_args(argv)
+
+    if args.command == "check":
+        return check(args)
+    if args.command is None:
+        args = demo_p.parse_args([])
+    return demo(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Structured benchmark records: ``BENCH_<name>.json``.
+
+The benches used to print their numbers and exit, so the repo accumulated
+no trajectory — every optimization PR re-measured from scratch.
+:func:`write_bench_record` gives each bench one call that persists what the
+run measured: the git revision, the bench configuration, the headline
+results, a metrics snapshot, and (when tracing is enabled) the full span
+tree.
+
+Records are versioned (:data:`SCHEMA_VERSION`) and validated by
+``python -m repro.telemetry check BENCH_*.json`` in CI, so a bench that
+silently stops recording fails the build rather than the next reader.
+"""
+
+import json
+import os
+import sys
+
+from . import clocks, metrics
+from .export import spans_to_dicts
+from .trace import TRACER
+
+SCHEMA_VERSION = 1
+
+#: fields every record must carry (the ``check`` subcommand enforces this)
+REQUIRED_FIELDS = (
+    "schema",
+    "bench",
+    "git_rev",
+    "created_unix",
+    "python",
+    "config",
+    "results",
+    "metrics",
+)
+
+
+def git_rev(root=None):
+    """The repository's HEAD commit, or "unknown" outside a checkout."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root or os.getcwd(),
+            capture_output=True,
+            timeout=10,
+        )
+    except Exception:
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.decode("ascii", "replace").strip() or "unknown"
+
+
+def build_record(name, config, results):
+    """The record dict for one bench run (spans included when tracing)."""
+    record = {
+        "schema": SCHEMA_VERSION,
+        "bench": name,
+        "git_rev": git_rev(),
+        "created_unix": clocks.wall(),
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "config": dict(config),
+        "results": results,
+        "metrics": metrics.snapshot(),
+    }
+    if TRACER.enabled:
+        record["spans"] = spans_to_dicts(TRACER.roots)
+    return record
+
+
+def write_bench_record(name, config, results, directory=None):
+    """Write ``BENCH_<name>.json`` (to ``directory`` or the cwd); returns
+    the path.  ``results`` must be JSON-serializable."""
+    record = build_record(name, config, results)
+    path = os.path.join(directory or os.getcwd(), "BENCH_%s.json" % name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def validate_record(record):
+    """Schema-check one record dict; returns a list of problems ([] = ok)."""
+    problems = []
+    if not isinstance(record, dict):
+        return ["record is not a JSON object"]
+    for field in REQUIRED_FIELDS:
+        if field not in record:
+            problems.append("missing field %r" % field)
+    if record.get("schema") != SCHEMA_VERSION:
+        problems.append(
+            "schema %r != %d" % (record.get("schema"), SCHEMA_VERSION)
+        )
+    if not isinstance(record.get("config", {}), dict):
+        problems.append("config is not an object")
+    if not isinstance(record.get("metrics", {}), dict):
+        problems.append("metrics is not an object")
+    spans = record.get("spans")
+    if spans is not None:
+        if not isinstance(spans, list):
+            problems.append("spans is not a list")
+        else:
+            stack = list(spans)
+            while stack:
+                node = stack.pop()
+                if not isinstance(node, dict) or "name" not in node:
+                    problems.append("span node without a name")
+                    break
+                stack.extend(node.get("children", ()))
+    return problems
+
+
+def validate_file(path):
+    """Schema-check one ``BENCH_*.json`` file; returns a problem list."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return ["unreadable: %s" % exc]
+    return validate_record(record)

@@ -1,0 +1,74 @@
+"""The telemetry clock source: one injection point for all time reads.
+
+Every wall/CPU time read in the library flows through this module — spans,
+the prover's Figure 5 timeline, the cost-model calibration, the lint
+progress timers — so installing one fake clock (``repro.clock.FakeClock``)
+makes the whole pipeline deterministic under test.  The hygiene linter's
+``direct-time`` rule enforces the funnel: ``time.time()`` /
+``time.perf_counter()`` calls outside this package are flagged.
+
+A clock is any object with three zero-argument methods:
+
+* ``time()`` — wall-clock seconds since the epoch (``time.time``);
+* ``perf()`` — monotonic high-resolution seconds (``time.perf_counter``),
+  what span durations are measured with;
+* ``cpu()``  — process CPU seconds (``time.process_time``).
+
+``set_clock(None)`` restores the real :class:`SystemClock`.
+"""
+
+import time as _time
+from contextlib import contextmanager
+
+
+class SystemClock:
+    """The real clocks (the default source)."""
+
+    time = staticmethod(_time.time)
+    perf = staticmethod(_time.perf_counter)
+    cpu = staticmethod(_time.process_time)
+
+    def __repr__(self):
+        return "SystemClock()"
+
+
+_SYSTEM = SystemClock()
+_clock = _SYSTEM
+
+
+def get_clock():
+    """The currently installed clock object."""
+    return _clock
+
+
+def set_clock(clock):
+    """Install a clock (None restores the system clock); returns it."""
+    global _clock
+    _clock = _SYSTEM if clock is None else clock
+    return _clock
+
+
+@contextmanager
+def use_clock(clock):
+    """Temporarily install ``clock`` (restores the previous one on exit)."""
+    previous = _clock
+    set_clock(clock)
+    try:
+        yield _clock
+    finally:
+        set_clock(previous)
+
+
+def wall():
+    """Wall-clock seconds since the epoch, via the installed clock."""
+    return _clock.time()
+
+
+def perf():
+    """Monotonic high-resolution seconds, via the installed clock."""
+    return _clock.perf()
+
+
+def cpu():
+    """Process CPU seconds, via the installed clock."""
+    return _clock.cpu()

@@ -200,6 +200,30 @@ class TestHygiene:
         assert f.check == "float-in-field"
         assert lint_source(src, "benchmarks_helper.py") == []
 
+    def test_direct_time_call_flagged(self):
+        src = "import time\n\ndef f():\n    return time.perf_counter()\n"
+        (f,) = lint_source(src, "core/util.py")
+        assert (f.check, f.severity) == ("direct-time", "warning")
+        assert "repro.telemetry.clocks" in f.message
+
+    def test_direct_time_from_import_flagged(self):
+        src = "from time import perf_counter\n"
+        (f,) = lint_source(src, "engine/core.py")
+        assert f.check == "direct-time"
+
+    def test_direct_time_exempt_in_telemetry(self):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        assert lint_source(src, "telemetry/clocks.py") == []
+
+    def test_time_conversions_not_flagged(self):
+        # gmtime/strftime/strptime convert timestamps, they don't read clocks
+        src = (
+            "import time\n\n"
+            "def f(epoch):\n"
+            "    return time.strftime('%Y', time.gmtime(epoch))\n"
+        )
+        assert lint_source(src, "x509/asn1.py") == []
+
 
 # -- baseline gating ----------------------------------------------------------
 
