@@ -181,8 +181,8 @@ class ScenarioWorld:
         prover.statement = self.statement
         prover.shape = self.statement.shape
         from ..core.common import input_digest
+        from ..wire import envelope_to_sans
         from ..x509.cert import SubjectPublicKeyInfo
-        from ..x509.san import encode_proof_sans
 
         tls_bytes = SubjectPublicKeyInfo(
             self.attacker_tls_key.public_key
@@ -190,7 +190,9 @@ class ScenarioWorld:
         proof, _ts = prover.generate_proof(
             tls_bytes, self.ca.org_name, ts=not_before
         )
-        return encode_proof_sans(proof, self.domain_text)
+        # the attacker seals honestly — the envelope format is public, and
+        # the proof itself is valid (made with the stolen DNSSEC keys)
+        return envelope_to_sans(prover.seal_envelope(proof))
 
     def attacker_dce_chain(self, caps):
         """A DNSSEC attacker re-signs a TLSA for its own key."""

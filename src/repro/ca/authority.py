@@ -9,11 +9,20 @@ Attacker knobs (§3.1 CA attacker): ``compromised`` enables signing
 arbitrary certificates without domain validation — including *backdated*
 ones (the attack the N/TS binding plus SCT-consistency check defeats), and
 ``suppress_revocations`` models a CA refusing to revoke.
+
+An honest CA additionally screens NOPE SAN sets at issuance: every
+envelope must decode strictly for the domain it rides under, and its
+nullifier must not have appeared in a previously issued certificate —
+cutting proof-replay off at the CA before a client ever sees it.  A
+compromised CA skips the screen (the Figure 3 attack rows rely on rogue
+certificates going out unfiltered).
 """
 
 from ..clock import DAY
-from ..errors import ProtocolError, RevocationError
+from ..errors import EncodingError, ProtocolError, RevocationError
 from ..sig.ecdsa import EcdsaPrivateKey
+from ..wire import extract_proof
+from ..x509.san import is_nope_san
 from ..x509.cert import (
     Certificate,
     Name,
@@ -73,6 +82,9 @@ class CertificationAuthority:
         self.ocsp = OcspResponder(self.intermediate_key, clock)
         self.crl = CrlDistributor(clock)
         self.issued = {}  # serial -> Certificate
+        #: envelope nullifier -> serial of the certificate it rode in;
+        #: honest issuance refuses a nullifier it has already embedded
+        self.seen_nullifiers = {}
 
     # -- issuance -------------------------------------------------------------
 
@@ -93,17 +105,56 @@ class CertificationAuthority:
             + list(extra),
         )
 
+    def _screen_nope_sans(self, sans):
+        """Honest-CA strict screen over a request's NOPE SAN set.
+
+        Every NOPE SAN must belong to a complete, strictly-decodable
+        payload for one of the requested domains, and no envelope
+        nullifier may repeat across this CA's issuance history.  Returns
+        the nullifiers about to be embedded.
+        """
+        nope = [s for s in sans if is_nope_san(s)]
+        if not nope:
+            return []
+        consumed = set()
+        nullifiers = []
+        for domain in (s for s in sans if not is_nope_san(s)):
+            try:
+                payload = extract_proof(sans, domain)
+            except EncodingError:
+                continue  # no (valid) payload for this domain; any
+                # fragments it owns stay unconsumed and fail below
+            consumed.update(payload.consumed)
+            if payload.nullifier is not None:
+                nullifiers.append(payload.nullifier)
+        orphaned = [s for s in nope if s not in consumed]
+        if orphaned:
+            raise ProtocolError(
+                "NOPE SAN fragments decode for no requested domain "
+                "(first: %s)" % orphaned[0]
+            )
+        for nullifier in nullifiers:
+            prior = self.seen_nullifiers.get(nullifier)
+            if prior is not None:
+                raise ProtocolError(
+                    "proof envelope already embedded in certificate "
+                    "serial %d (nullifier reuse)" % prior
+                )
+        return nullifiers
+
     def issue(self, subject_cn, spki, sans, not_before=None, lifetime=DEFAULT_LIFETIME):
         """Issue a certificate: precert -> CT logs -> SCTs -> final cert.
 
         Returns the chain [leaf, intermediate].  An honest CA stamps
-        ``not_before`` with the current time; only a compromised CA may
-        pass an explicit (possibly backdated) value.
+        ``not_before`` with the current time and screens the NOPE SAN set
+        (strict decode + nullifier anti-reuse); only a compromised CA may
+        backdate or skip the screen.
         """
         if not_before is None:
             not_before = self.clock.now()
         elif not self.compromised:
             raise ProtocolError("honest CAs do not backdate certificates")
+        nullifiers = [] if self.compromised else self._screen_nope_sans(sans)
         precert = self._build_tbs(
             subject_cn, spki, sans, not_before, lifetime, [ct_poison_extension()]
         ).sign(self.intermediate_key)
@@ -120,6 +171,8 @@ class CertificationAuthority:
         leaf.serial = precert.serial
         leaf.sign(self.intermediate_key)
         self.issued[leaf.serial] = leaf
+        for nullifier in nullifiers:
+            self.seen_nullifiers[nullifier] = leaf.serial
         return [leaf, self.intermediate_cert]
 
     def issue_rogue(self, subject_cn, spki, sans, not_before=None):

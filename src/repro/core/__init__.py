@@ -11,7 +11,12 @@ from .client import (
 from .common import SCT_TOLERANCE, TS_GRANULARITY, input_digest, truncate_timestamp
 from .dce import DceClient, DceServer
 from .managed import ManagedNopeProver
-from .prover import IssuanceTimeline, NopeProver, run_legacy_acme
+from .prover import (
+    IssuanceTimeline,
+    NopeProver,
+    build_multi_domain_csr,
+    run_legacy_acme,
+)
 from .statement import (
     NAME_CAPACITY,
     managed_binding_digest,
@@ -33,6 +38,7 @@ __all__ = [
     "managed_binding_digest",
     "prepare_managed_witness",
     "run_legacy_acme",
+    "build_multi_domain_csr",
     "IssuanceTimeline",
     "NopeClient",
     "VerificationReport",

@@ -19,12 +19,20 @@ class PinStore:
         self.preloaded = {d.rstrip(".") for d in preloaded}
         self.tofu_ttl = tofu_ttl
         self._seen = {}  # domain -> expiry
+        self._nullifiers = {}  # domain -> last envelope nullifier seen
 
     def preload(self, domain):
         self.preloaded.add(domain.rstrip("."))
 
-    def record_nope_seen(self, domain, now):
-        self._seen[domain.rstrip(".")] = now + self.tofu_ttl
+    def record_nope_seen(self, domain, now, nullifier=None):
+        domain = domain.rstrip(".")
+        self._seen[domain] = now + self.tofu_ttl
+        if nullifier is not None:
+            self._nullifiers[domain] = nullifier
+
+    def last_nullifier(self, domain):
+        """The envelope nullifier last pinned for ``domain`` (or None)."""
+        return self._nullifiers.get(domain.rstrip("."))
 
     def is_required(self, domain, now):
         domain = domain.rstrip(".")

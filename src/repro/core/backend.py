@@ -10,12 +10,10 @@ identical.
 """
 
 from ..engine import get_engine
-from ..errors import ProofError
+from ..errors import ProofError, WireError
 from ..groth16 import (
     BatchVerificationError,
     prepare,
-    proof_from_bytes,
-    proof_to_bytes,
     prove,
     setup,
     sim_prove,
@@ -24,6 +22,7 @@ from ..groth16 import (
     verify,
     verify_batch,
 )
+from ..wire import KIND_GROTH16, KIND_SIMULATION, get_codec
 
 
 class StatementKeys:
@@ -37,10 +36,13 @@ class StatementKeys:
 
 class Groth16Backend:
     name = "groth16"
+    #: envelope kind tag this backend's proof bodies are sealed under
+    kind = KIND_GROTH16
 
     def __init__(self, engine=None):
         #: compute engine for setup/prove (None -> the default serial engine)
         self.engine = engine
+        self._codec = get_codec(self.kind)
 
     def setup(self, shape_id, system):
         pk, vk, toxic = setup(system, engine=self.engine)
@@ -51,10 +53,13 @@ class Groth16Backend:
 
     def prove(self, keys, system):
         proof = prove(keys.proving_key, system, engine=self.engine)
-        return proof_to_bytes(proof)
+        return self._codec.encode(proof)
 
     def verify(self, keys, proof_bytes, public_inputs):
-        proof = proof_from_bytes(proof_bytes)
+        try:
+            proof = self._codec.decode(proof_bytes)
+        except WireError as exc:
+            raise ProofError("malformed proof body: %s" % exc) from exc
         verify(keys.verifying_key, proof, public_inputs, engine=self.engine)
 
     def verify_batch(self, keys, proof_bytes_list, public_inputs_list):
@@ -65,7 +70,7 @@ class Groth16Backend:
         malformed = []
         for i, data in enumerate(proof_bytes_list):
             try:
-                proofs.append(proof_from_bytes(data))
+                proofs.append(self._codec.decode(data))
             except Exception:
                 proofs.append(None)
                 malformed.append(i)
@@ -78,17 +83,20 @@ class Groth16Backend:
 
 class SimulationBackend:
     name = "simulation"
+    #: envelope kind tag this backend's proof bodies are sealed under
+    kind = KIND_SIMULATION
 
     def __init__(self, engine=None):
         # the simulation has no group work; accepted for interface parity
         self.engine = engine
+        self._codec = get_codec(self.kind)
 
     def setup(self, shape_id, system):
         key = sim_setup(system)
         return StatementKeys(shape_id, key, key)
 
     def prove(self, keys, system):
-        return sim_prove(keys.proving_key, system).digest
+        return self._codec.encode(sim_prove(keys.proving_key, system))
 
     def verify(self, keys, proof_bytes, public_inputs):
         from ..groth16.simulation import SimulatedProof

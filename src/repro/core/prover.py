@@ -12,8 +12,8 @@ from ..errors import ProvingError
 from ..r1cs import ConstraintSystem
 from ..telemetry import clocks as _clocks
 from ..telemetry.trace import span as _span
+from ..wire import envelope_to_sans, seal, version_for_profile
 from ..x509.csr import CertificateRequest
-from ..x509.san import encode_proof_sans
 from .backend import make_backend
 from .common import input_digest, truncate_timestamp
 from .statement import NopeStatement, StatementShape, prepare_witness
@@ -131,15 +131,30 @@ class NopeProver:
                 )
             return self.backend.prove(self.keys, cs), ts
 
-    #: SAN metadata character: 0 = base NOPE, 1 = NOPE-managed
+    #: legacy SAN metadata character: 0 = base NOPE, 1 = NOPE-managed.
+    #: Under the envelope wire format this becomes the managed flag bit.
     san_metadata = 0
 
-    def build_csr(self, tls_private_key, proof_bytes):
-        """Step 3: a CSR whose SANs carry the encoded proof."""
-        domain_text = str(self.domain).rstrip(".")
-        sans = [domain_text] + encode_proof_sans(
-            proof_bytes, domain_text, metadata=self.san_metadata
+    def seal_envelope(self, proof_bytes):
+        """Wrap raw proof bytes in the canonical wire envelope.
+
+        The envelope binds the proof to this prover's backend kind,
+        parameter-profile version, statement shape, and domain — producing
+        the nullifier that clients and CAs use to refuse reuse.
+        """
+        return seal(
+            self.backend.kind,
+            version_for_profile(self.profile.name),
+            proof_bytes,
+            str(self.domain).rstrip("."),
+            shape_id=self.shape.id_string(),
+            managed=bool(self.san_metadata),
         )
+
+    def build_csr(self, tls_private_key, proof_bytes):
+        """Step 3: a CSR whose SANs carry the sealed proof envelope."""
+        domain_text = str(self.domain).rstrip(".")
+        sans = [domain_text] + envelope_to_sans(self.seal_envelope(proof_bytes))
         csr = CertificateRequest.build(domain_text, tls_private_key.public_key, sans)
         return csr.sign(tls_private_key)
 
@@ -191,6 +206,31 @@ class NopeProver:
         from ..x509.cert import SubjectPublicKeyInfo
 
         return SubjectPublicKeyInfo(tls_private_key.public_key).raw_key_bytes()
+
+
+def build_multi_domain_csr(provers, tls_private_key, ca_name, ts):
+    """One CSR binding several domains, each with its own sealed proof.
+
+    Every prover contributes its domain SAN plus that domain's envelope
+    SAN set; the strict label-shape rules in :mod:`repro.x509.san` keep
+    the per-domain fragments unambiguous, and clients verify the whole
+    set in one batched pairing check (``NopeClient.verify_domains``).
+    Returns ``(signed_csr, envelopes)``.
+    """
+    if not provers:
+        raise ProvingError("need at least one prover for a multi-domain CSR")
+    tls_key_bytes = NopeProver._spki_bytes(tls_private_key)
+    sans = []
+    envelopes = []
+    for prover in provers:
+        proof_bytes, _ = prover.generate_proof(tls_key_bytes, ca_name, ts=ts)
+        env = prover.seal_envelope(proof_bytes)
+        envelopes.append(env)
+        sans.append(env.domain)
+        sans.extend(envelope_to_sans(env))
+    primary = envelopes[0].domain
+    csr = CertificateRequest.build(primary, tls_private_key.public_key, sans)
+    return csr.sign(tls_private_key), envelopes
 
 
 def run_legacy_acme(acme_server, zone, domain, tls_private_key, clock,

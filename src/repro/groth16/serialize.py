@@ -4,6 +4,11 @@ Compressed encodings, bellman/zcash style: a G1 point is its 32-byte
 big-endian x with flag bits in the top of the first byte (BN254's modulus
 is 254 bits, so two bits are free); a G2 point is the 64-byte x in Fq2
 (c1 then c0).  A proof is A (32) || B (64) || C (32) = 128 bytes.
+
+These functions are the **body codec** behind ``KIND_GROTH16`` in the
+:mod:`repro.wire` kind registry; everything outside ``repro.wire`` (and
+this package) must go through the registry rather than calling them
+directly — the ``wire-bypass`` hygiene lint rule enforces that boundary.
 """
 
 from ..ec.curves import BN254_G1

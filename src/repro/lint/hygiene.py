@@ -24,6 +24,14 @@ Repo rules enforced (each a check name, keyed per file + enclosing scope):
   must funnel through :mod:`repro.telemetry.clocks` so one injected clock
   makes traces, timelines, and benchmarks deterministic.  Severity:
   warning (baseline-gated like everything else).
+* ``wire-bypass``      — importing or calling the raw proof wire
+  primitives (``proof_to_bytes``, ``encode_proof_sans``,
+  ``decode_payload_chars``, the ``g1``/``g2`` point codecs, ...) outside
+  the sanctioned layers (``wire/``, ``groth16/``, ``x509/san.py`` and its
+  re-exporting ``__init__``).  Every other module must produce/consume
+  proof bytes through the :mod:`repro.wire` envelope API so the canonical
+  format (and its nullifier anti-reuse) cannot be sidestepped.  Severity:
+  error.
 
 All checks are static and syntactic: they cannot see through aliasing
 (``import random as r``) beyond the patterns above, which is acceptable
@@ -53,6 +61,19 @@ _CLOCK_READS = {"time", "perf_counter", "monotonic", "process_time"}
 
 #: modules whose own job is reading clocks
 _CLOCK_EXEMPT_PATHS = ("telemetry/",)
+
+#: raw proof wire primitives; everything else goes through repro.wire
+_WIRE_PRIMITIVES = {
+    "proof_to_bytes", "proof_from_bytes",
+    "g1_to_bytes", "g1_from_bytes", "g2_to_bytes", "g2_from_bytes",
+    "encode_proof_chars", "decode_proof_chars",
+    "encode_proof_sans", "decode_proof_sans",
+    "encode_payload_chars", "decode_payload_chars",
+    "encode_payload_sans", "decode_payload_sans",
+}
+
+#: layers allowed to touch the wire primitives directly
+_WIRE_ALLOWED_PATHS = ("wire/", "groth16/", "x509/san.py", "x509/__init__.py")
 
 #: trailing tokens that mark a *metadata* name, not the bytes themselves
 _EXEMPT_TAILS = {"type", "types", "len", "length", "size", "id", "alg"}
@@ -126,6 +147,7 @@ class _Scope(ast.NodeVisitor):
         self.in_crypto = relpath.startswith(CRYPTO_PATHS)
         self.in_float_ban = relpath.startswith(FLOAT_PATHS)
         self.clock_exempt = relpath.startswith(_CLOCK_EXEMPT_PATHS)
+        self.wire_exempt = relpath.startswith(_WIRE_ALLOWED_PATHS)
 
     def scope(self):
         return ".".join(self.stack) if self.stack else "<module>"
@@ -187,6 +209,15 @@ class _Scope(ast.NodeVisitor):
                         "direct-time", "warning", node,
                         "`from time import %s` bypasses the telemetry clock; "
                         "use repro.telemetry.clocks" % alias.name,
+                    )
+        if not self.wire_exempt:
+            for alias in node.names:
+                if alias.name in _WIRE_PRIMITIVES:
+                    self.add(
+                        "wire-bypass", "error", node,
+                        "import of wire primitive `%s` outside the wire "
+                        "layer; produce/consume proof bytes through "
+                        "repro.wire" % alias.name,
                     )
         self.generic_visit(node)
 
@@ -270,6 +301,18 @@ class _Scope(ast.NodeVisitor):
                 "repro.telemetry.clocks so injected clocks cover every "
                 "timing site" % node.func.attr,
             )
+        if not self.wire_exempt:
+            callee = None
+            if isinstance(node.func, ast.Name):
+                callee = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                callee = node.func.attr
+            if callee in _WIRE_PRIMITIVES:
+                self.add(
+                    "wire-bypass", "error", node,
+                    "call to wire primitive `%s()` outside the wire layer; "
+                    "produce/consume proof bytes through repro.wire" % callee,
+                )
         self.generic_visit(node)
 
 

@@ -1,0 +1,54 @@
+"""CLI for the wire layer: ``python -m repro.wire {check,regen,show}``.
+
+``check`` recomputes every golden vector and fails (exit 1) on any drift
+from the checked-in ``golden_vectors.json`` — CI runs this so the wire
+format cannot change without an explicit GOLDEN_FORMAT_VERSION bump.
+"""
+
+import argparse
+import sys
+
+from .golden import (
+    GOLDEN_FORMAT_VERSION,
+    check_golden,
+    generate_vectors,
+    roundtrip_golden,
+    write_golden,
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="repro.wire")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("check", help="verify golden vectors match the live code")
+    sub.add_parser("regen", help="regenerate golden_vectors.json")
+    sub.add_parser("show", help="print the live vectors")
+    args = parser.parse_args(argv)
+
+    if args.command == "check":
+        problems = check_golden() + roundtrip_golden()
+        if problems:
+            for problem in problems:
+                print("FAIL: %s" % problem)
+            return 1
+        print(
+            "golden vectors OK (format v%d, %d vectors)"
+            % (GOLDEN_FORMAT_VERSION, len(generate_vectors()))
+        )
+        return 0
+    if args.command == "regen":
+        path = write_golden()
+        print("wrote %s (format v%d)" % (path, GOLDEN_FORMAT_VERSION))
+        return 0
+    if args.command == "show":
+        for vec in generate_vectors():
+            print("%(name)s:" % vec)
+            for key in sorted(vec):
+                if key != "name":
+                    print("  %s: %s" % (key, vec[key]))
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,34 @@
-"""NOPE proof <-> Subject Alternative Name encoding (paper Appendix D).
+"""NOPE payload <-> Subject Alternative Name encoding (paper Appendix D).
 
-The 128-byte proof is base-37 encoded into 197 hostname-safe characters
-(alphabet a-z, 0-9, '-'), extended with a version character, a metadata
-character, and a checksum character to 200 characters, split into four
-50-character labels, and attached under an ``n0pe.`` prefix:
+A binary payload is base-37 encoded into hostname-safe characters
+(alphabet a-z, 0-9, '-'), wrapped with a version character and a checksum
+character, zero-padded to a whole number of 50-character labels, and
+attached under an ``n0pe.`` prefix::
 
-    n0pe.<a>.<b>.<c>.<d>.<domain>
+    n0pe.<label>...<label>.<domain>
 
-For long domains the labels are spread across multiple SANs whose prefixes
-count up (``n0pe.``, ``n1pe.``, ...) to fix the order.
+For long domains (or long payloads) the labels are spread across multiple
+SANs whose prefixes count up (``n0pe.``, ``n1pe.``, ...) to fix the order.
+
+Two SAN payload versions exist, selected by the leading version character:
+
+* **version 0** (legacy): a raw 128-byte proof plus a metadata character
+  (0 = base NOPE, 1 = NOPE-managed) — 200 characters in 4 labels, guarded
+  by the original position-blind ``sum mod 37`` checksum.  Kept so that
+  historical vectors still decode.
+* **version 1**: the 197-byte canonical proof envelope from
+  :mod:`repro.wire` (kind tag, body version, flags, statement digest,
+  body, nullifier) — 350 characters in 7 labels.  The old metadata
+  character is gone (the envelope's flags/version fields carry it), and
+  the checksum is position-weighted so transposed characters are caught.
+
+Decoding is strict: every label between the ``nXpe`` prefix and the
+domain must be *exactly* 50 base-37 characters, and the total label count
+must match the version's layout.  A NOPE SAN belonging to a subdomain
+(``n0pe.<...>.sub.example.com``) therefore can never be absorbed into a
+decode for the parent (``example.com``) — its trailing ``sub`` label has
+the wrong length — which also makes multi-domain certificates (one SAN
+set per bound domain) unambiguous.
 """
 
 from ..errors import EncodingError
@@ -20,7 +40,7 @@ _CHAR_INDEX = {c: i for i, c in enumerate(ALPHABET)}
 PROOF_BYTES = 128
 #: ceil(log_37(2^1024)) — matches the paper's 197
 PROOF_CHARS = 197
-#: version + metadata + checksum
+#: version 0 layout: version + metadata + 197 payload chars + checksum
 TOTAL_CHARS = PROOF_CHARS + 3
 LABEL_LEN = 50
 NUM_LABELS = TOTAL_CHARS // LABEL_LEN  # 4
@@ -28,62 +48,172 @@ NUM_LABELS = TOTAL_CHARS // LABEL_LEN  # 4
 #: maximum total SAN length (RFC 1035 name limit, presented form)
 MAX_SAN_LENGTH = 253
 
-VERSION_CHAR = ALPHABET[0]  # version 0
+#: SAN payload versions
+SAN_VERSION_LEGACY = 0
+SAN_VERSION_ENVELOPE = 1
+
+VERSION_CHAR = ALPHABET[SAN_VERSION_LEGACY]
+
+
+def chars_for_bytes(n):
+    """Smallest k such that 37^k can hold any n-byte value."""
+    k, cap, limit = 0, 1, 1 << (8 * n)
+    while cap < limit:
+        cap *= BASE
+        k += 1
+    return k
+
+
+class _SanLayout:
+    """One SAN payload version's geometry and checksum."""
+
+    __slots__ = ("version", "payload_bytes", "payload_chars", "has_metadata",
+                 "padding_chars", "total_chars", "num_labels", "checksum")
+
+    def __init__(self, version, payload_bytes, has_metadata, checksum):
+        self.version = version
+        self.payload_bytes = payload_bytes
+        self.payload_chars = chars_for_bytes(payload_bytes)
+        self.has_metadata = has_metadata
+        # version + [metadata] + payload + padding + checksum, padded so
+        # the total divides into whole 50-char labels (strict decoding
+        # counts labels, so no trailing short label may exist)
+        fixed = 2 + (1 if has_metadata else 0) + self.payload_chars
+        self.padding_chars = -fixed % LABEL_LEN
+        self.total_chars = fixed + self.padding_chars
+        self.num_labels = self.total_chars // LABEL_LEN
+        self.checksum = checksum
+
+
+def _checksum_v0(chars):
+    """Legacy position-blind checksum (misses all transpositions)."""
+    return ALPHABET[sum(_CHAR_INDEX[c] for c in chars) % BASE]
+
+
+def _checksum_weighted(chars):
+    """Position-weighted checksum: weight (i mod 36) + 1 is never zero mod
+    37, so any transposition of unequal characters fewer than 36 positions
+    apart changes the sum."""
+    total = 0
+    for i, c in enumerate(chars):
+        total += ((i % 36) + 1) * _CHAR_INDEX[c]
+    return ALPHABET[total % BASE]
+
+
+#: the version-character index selects the layout
+SAN_LAYOUTS = {
+    SAN_VERSION_LEGACY: _SanLayout(
+        SAN_VERSION_LEGACY, PROOF_BYTES, True, _checksum_v0
+    ),
+    SAN_VERSION_ENVELOPE: _SanLayout(
+        SAN_VERSION_ENVELOPE, 197, False, _checksum_weighted
+    ),
+}
+
+assert SAN_LAYOUTS[SAN_VERSION_LEGACY].total_chars == TOTAL_CHARS
 
 
 def _prefix(index):
     return "n%dpe" % index
 
 
-def _checksum(chars):
-    return ALPHABET[sum(_CHAR_INDEX[c] for c in chars) % BASE]
-
-
-def encode_proof_chars(proof, metadata=0):
-    """Base-37 encode a 128-byte proof into the 200-character payload."""
-    if len(proof) != PROOF_BYTES:
-        raise EncodingError("proof must be %d bytes" % PROOF_BYTES)
-    value = int.from_bytes(proof, "big")
+def _encode_base37(payload, num_chars):
+    value = int.from_bytes(payload, "big")
     digits = []
-    for _ in range(PROOF_CHARS):
+    for _ in range(num_chars):
         value, rem = divmod(value, BASE)
         digits.append(ALPHABET[rem])
     if value:
-        raise EncodingError("proof does not fit the base-37 budget")
-    body = VERSION_CHAR + ALPHABET[metadata % BASE] + "".join(reversed(digits))
-    return body + _checksum(body)
+        raise EncodingError("payload does not fit the base-37 budget")
+    return "".join(reversed(digits))
+
+
+def _decode_base37(chars, num_bytes):
+    value = 0
+    for c in chars:
+        value = value * BASE + _CHAR_INDEX[c]
+    if value.bit_length() > 8 * num_bytes:
+        raise EncodingError("decoded payload out of range")
+    return value.to_bytes(num_bytes, "big")
+
+
+def encode_payload_chars(payload, version, metadata=0):
+    """Wrap a binary payload in one version's character layout."""
+    layout = SAN_LAYOUTS.get(version)
+    if layout is None:
+        raise EncodingError("unknown NOPE SAN version %d" % version)
+    if len(payload) != layout.payload_bytes:
+        raise EncodingError(
+            "version %d payload must be %d bytes, got %d"
+            % (version, layout.payload_bytes, len(payload))
+        )
+    body = ALPHABET[version]
+    if layout.has_metadata:
+        if not 0 <= metadata < BASE:
+            raise EncodingError(
+                "metadata %r outside [0, %d]" % (metadata, BASE - 1)
+            )
+        body += ALPHABET[metadata]
+    body += _encode_base37(payload, layout.payload_chars)
+    body += ALPHABET[0] * layout.padding_chars
+    return body + layout.checksum(body)
+
+
+def decode_payload_chars(chars):
+    """Inverse of :func:`encode_payload_chars`.
+
+    Returns ``(version, payload_bytes, metadata)`` — metadata is None for
+    versions without the legacy metadata character.
+    """
+    for c in chars:
+        if c not in _CHAR_INDEX:
+            raise EncodingError("invalid base-37 character %r" % c)
+    if not chars:
+        raise EncodingError("empty NOPE SAN payload")
+    version = _CHAR_INDEX[chars[0]]
+    layout = SAN_LAYOUTS.get(version)
+    if layout is None:
+        raise EncodingError("unsupported NOPE SAN version %r" % chars[0])
+    if len(chars) != layout.total_chars:
+        raise EncodingError(
+            "version %d payload must be %d characters, got %d"
+            % (version, layout.total_chars, len(chars))
+        )
+    body, check = chars[:-1], chars[-1]
+    if layout.checksum(body) != check:
+        raise EncodingError("NOPE SAN checksum mismatch")
+    pos = 1
+    metadata = None
+    if layout.has_metadata:
+        metadata = _CHAR_INDEX[chars[pos]]
+        pos += 1
+    payload_chars = chars[pos:pos + layout.payload_chars]
+    pos += layout.payload_chars
+    if any(c != ALPHABET[0] for c in chars[pos:-1]):
+        raise EncodingError("nonzero padding in NOPE SAN payload")
+    return version, _decode_base37(payload_chars, layout.payload_bytes), metadata
+
+
+def encode_proof_chars(proof, metadata=0):
+    """Legacy (version 0) base-37 encoding of a raw 128-byte proof."""
+    if len(proof) != PROOF_BYTES:
+        raise EncodingError("proof must be %d bytes" % PROOF_BYTES)
+    return encode_payload_chars(proof, SAN_VERSION_LEGACY, metadata)
 
 
 def decode_proof_chars(chars):
     """Inverse of :func:`encode_proof_chars`; returns (proof, metadata)."""
-    if len(chars) != TOTAL_CHARS:
-        raise EncodingError("expected %d payload characters" % TOTAL_CHARS)
-    body, check = chars[:-1], chars[-1]
-    for c in chars:
-        if c not in _CHAR_INDEX:
-            raise EncodingError("invalid base-37 character %r" % c)
-    if _checksum(body) != check:
-        raise EncodingError("NOPE SAN checksum mismatch")
-    if body[0] != VERSION_CHAR:
-        raise EncodingError("unsupported NOPE SAN version %r" % body[0])
-    metadata = _CHAR_INDEX[body[1]]
-    value = 0
-    for c in body[2:]:
-        value = value * BASE + _CHAR_INDEX[c]
-    if value.bit_length() > 8 * PROOF_BYTES:
-        raise EncodingError("decoded proof out of range")
-    return value.to_bytes(PROOF_BYTES, "big"), metadata
+    version, payload, metadata = decode_payload_chars(chars)
+    if version != SAN_VERSION_LEGACY:
+        raise EncodingError(
+            "expected a version 0 proof payload, got version %d" % version
+        )
+    return payload, metadata
 
 
-def encode_proof_sans(proof, domain, metadata=0):
-    """Encode a proof as one or more SAN hostnames for ``domain``."""
-    domain = domain.rstrip(".")
-    payload = encode_proof_chars(proof, metadata)
-    labels = [
-        payload[i : i + LABEL_LEN] for i in range(0, TOTAL_CHARS, LABEL_LEN)
-    ]
-    # try to fit as many labels per SAN as the length budget allows
-    per_san = NUM_LABELS
+def _labels_to_sans(labels, domain):
+    """Distribute fixed-width labels over as few SANs as lengths allow."""
+    per_san = len(labels)
     while per_san >= 1:
         san_len = (
             len(_prefix(0)) + 1 + per_san * (LABEL_LEN + 1) + len(domain)
@@ -94,12 +224,25 @@ def encode_proof_sans(proof, domain, metadata=0):
     if per_san < 1:
         raise EncodingError("domain too long for NOPE SAN encoding")
     sans = []
-    for i in range(0, NUM_LABELS, per_san):
+    for i in range(0, len(labels), per_san):
         chunk = labels[i : i + per_san]
-        sans.append(
-            ".".join([_prefix(len(sans))] + chunk + [domain])
-        )
+        sans.append(".".join([_prefix(len(sans))] + chunk + [domain]))
     return sans
+
+
+def encode_payload_sans(payload, domain, version, metadata=0):
+    """Encode a payload as one or more SAN hostnames for ``domain``."""
+    domain = domain.rstrip(".")
+    chars = encode_payload_chars(payload, version, metadata)
+    labels = [
+        chars[i : i + LABEL_LEN] for i in range(0, len(chars), LABEL_LEN)
+    ]
+    return _labels_to_sans(labels, domain)
+
+
+def encode_proof_sans(proof, domain, metadata=0):
+    """Legacy (version 0): encode a raw proof as SAN hostnames."""
+    return encode_payload_sans(proof, domain, SAN_VERSION_LEGACY, metadata)
 
 
 def is_nope_san(name):
@@ -112,11 +255,13 @@ def is_nope_san(name):
     )
 
 
-def decode_proof_sans(san_names, domain):
-    """Extract the proof from a certificate's SAN list.
+def _collect_payload_chars(san_names, domain):
+    """Strictly gather the payload characters addressed to ``domain``.
 
-    Returns (proof_bytes, metadata); raises EncodingError if no complete,
-    consistent NOPE encoding for ``domain`` is present.
+    A SAN contributes only if it is exactly
+    ``n<k>pe.<50-char base-37 label>...<domain>`` — every intermediate
+    label must be exactly :data:`LABEL_LEN` base-37 characters, so NOPE
+    SANs bound to a *subdomain* are skipped rather than absorbed.
     """
     domain = domain.rstrip(".")
     suffix = "." + domain
@@ -124,9 +269,18 @@ def decode_proof_sans(san_names, domain):
     for name in san_names:
         if not is_nope_san(name) or not name.endswith(suffix):
             continue
-        order = int(name.split(".", 1)[0][1])
-        middle = name[: -len(suffix)].split(".")[1:]
-        pieces[order] = middle
+        parts = name[: -len(suffix)].split(".")
+        labels = parts[1:]
+        if not labels or any(
+            len(label) != LABEL_LEN
+            or any(c not in _CHAR_INDEX for c in label)
+            for label in labels
+        ):
+            continue  # a NOPE SAN for some other (sub)domain
+        order = int(parts[0][1])
+        if order in pieces:
+            raise EncodingError("duplicate NOPE SAN fragment %d" % order)
+        pieces[order] = labels
     if not pieces:
         raise EncodingError("no NOPE SAN entries for %s" % domain)
     labels = []
@@ -135,4 +289,36 @@ def decode_proof_sans(san_names, domain):
             raise EncodingError("missing NOPE SAN fragment %d" % order)
         labels.extend(pieces[order])
     chars = "".join(labels)
-    return decode_proof_chars(chars)
+    version = _CHAR_INDEX.get(chars[0])
+    layout = SAN_LAYOUTS.get(version)
+    if layout is None:
+        raise EncodingError("unsupported NOPE SAN version %r" % chars[0])
+    if len(labels) != layout.num_labels:
+        raise EncodingError(
+            "version %d NOPE SAN set needs %d labels, found %d"
+            % (version, layout.num_labels, len(labels))
+        )
+    return chars
+
+
+def decode_payload_sans(san_names, domain):
+    """Extract any version's payload from a certificate's SAN list.
+
+    Returns ``(version, payload_bytes, metadata)``; raises EncodingError
+    if no complete, consistent NOPE encoding for ``domain`` is present.
+    """
+    return decode_payload_chars(_collect_payload_chars(san_names, domain))
+
+
+def decode_proof_sans(san_names, domain):
+    """Legacy (version 0) proof extraction; returns (proof, metadata).
+
+    Version 1 SAN sets carry a proof *envelope*; decode those through
+    :func:`repro.wire.extract_proof` instead.
+    """
+    version, payload, metadata = decode_payload_sans(san_names, domain)
+    if version != SAN_VERSION_LEGACY:
+        raise EncodingError(
+            "version %d NOPE SANs carry an envelope; use repro.wire" % version
+        )
+    return payload, metadata

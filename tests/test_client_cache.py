@@ -16,6 +16,12 @@ from repro.ec import TOY29
 from repro.errors import CertificateError
 from repro.profiles import TOY, build_hierarchy
 from repro.sig import EcdsaPrivateKey
+from repro.wire import extract_proof
+
+
+def cache_token(chain, domain):
+    """The (nullifier) token the client caches this chain's verdict under."""
+    return extract_proof(chain[0].san_names(), domain).nullifier
 
 
 @pytest.fixture(scope="module")
@@ -134,7 +140,8 @@ class TestCacheExpiry:
         with pytest.raises(CertificateError):
             client.verify_server("example.com", world["chain"], after_expiry)
         assert cache.lookup(
-            leaf_fingerprint(leaf), "example.com", after_expiry
+            cache_token(world["chain"], "example.com"),
+            "example.com", after_expiry,
         ) is None
 
     def test_max_ttl_caps_entry_lifetime(self, world):
@@ -154,13 +161,11 @@ class TestCacheExpiry:
             "example.com", world["chain"], now, ocsp_responder=responder
         )
         beyond_window = now + responder.validity + 1
-        entry = cache._entries[
-            (leaf_fingerprint(world["chain"][0]), "example.com")
-        ]
+        token = cache_token(world["chain"], "example.com")
+        entry = cache._entries[(token, "example.com")]
+        assert entry.fingerprint == leaf_fingerprint(world["chain"][0])
         assert entry.expires_at <= now + responder.validity
-        assert cache.lookup(
-            leaf_fingerprint(world["chain"][0]), "example.com", beyond_window
-        ) is None
+        assert cache.lookup(token, "example.com", beyond_window) is None
 
 
 class TestCacheRevocation:

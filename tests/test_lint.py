@@ -224,6 +224,49 @@ class TestHygiene:
         )
         assert lint_source(src, "x509/asn1.py") == []
 
+    def test_wire_bypass_import_flagged(self):
+        src = "from repro.x509.san import decode_proof_sans\n"
+        (f,) = lint_source(src, "core/client.py")
+        assert (f.check, f.severity) == ("wire-bypass", "error")
+        assert "repro.wire" in f.message
+
+    def test_wire_bypass_call_flagged(self):
+        src = (
+            "def attack(proof, domain):\n"
+            "    return encode_proof_sans(proof, domain)\n"
+        )
+        (f,) = lint_source(src, "analysis/scenarios.py")
+        assert f.check == "wire-bypass"
+        src = (
+            "import repro.groth16.serialize as s\n\n"
+            "def f(data):\n"
+            "    return s.proof_from_bytes(data)\n"
+        )
+        findings = [
+            f for f in lint_source(src, "core/backend.py")
+            if f.check == "wire-bypass"
+        ]
+        assert len(findings) == 1
+
+    def test_wire_bypass_exempt_in_wire_layers(self):
+        src = (
+            "from .serialize import proof_to_bytes\n\n"
+            "def f(proof):\n"
+            "    return proof_to_bytes(proof)\n"
+        )
+        for relpath in ("wire/registry.py", "groth16/__init__.py",
+                        "x509/san.py", "x509/__init__.py"):
+            assert lint_source(src, relpath) == []
+
+    def test_wire_api_not_flagged(self):
+        # the sanctioned envelope API is fine anywhere
+        src = (
+            "from repro.wire import extract_proof, envelope_to_sans\n\n"
+            "def f(sans, domain):\n"
+            "    return extract_proof(sans, domain)\n"
+        )
+        assert lint_source(src, "core/client.py") == []
+
 
 # -- baseline gating ----------------------------------------------------------
 

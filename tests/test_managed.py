@@ -101,11 +101,11 @@ class TestManagedPipeline:
         chain, timeline = world["prover"].obtain_certificate(
             world["acme"], tls_key, world["clock"]
         )
-        # metadata char marks the managed variant in the SAN
-        from repro.x509.san import decode_proof_sans
+        # the envelope's managed flag bit marks the App. A variant
+        from repro.wire import extract_proof
 
-        _, metadata = decode_proof_sans(chain[0].san_names(), "managed.example")
-        assert metadata == 1
+        payload = extract_proof(chain[0].san_names(), "managed.example")
+        assert payload.managed and payload.envelope.managed
         client = NopeClient(
             TOY,
             world["ca"].trust_anchors(),

@@ -452,7 +452,8 @@ class TestCacheStats:
         report = object()
         assert cache.lookup(b"fp1", "a.example", 10) is None  # miss
         cache.store(b"fp1", "a.example", report, _Leaf(), now=10)
-        assert cache.lookup(b"fp1", "a.example", 20) is report  # hit
+        hit = cache.lookup(b"fp1", "a.example", 20)  # hit
+        assert hit is not None and hit.report is report
         assert cache.lookup(b"fp1", "a.example", 2000) is None  # expired
         cache.store(b"fp1", "a.example", report, _Leaf(), now=10)
         cache.store(b"fp2", "b.example", report, _Leaf(), now=10)  # evicts

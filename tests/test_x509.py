@@ -227,6 +227,26 @@ class TestSanEncoding:
         with pytest.raises(EncodingError):
             decode_proof_sans(sans[:1], long_domain)
 
+    def test_metadata_out_of_range_rejected(self):
+        # metadata used to wrap silently (metadata % 37); now it must raise
+        proof = secrets.token_bytes(PROOF_BYTES)
+        for bad in (-1, 37, 1000):
+            with pytest.raises(EncodingError, match="metadata"):
+                encode_proof_chars(proof, metadata=bad)
+            with pytest.raises(EncodingError, match="metadata"):
+                encode_proof_sans(proof, "example.com", metadata=bad)
+
+    def test_subdomain_sans_not_absorbed_into_parent(self):
+        # regression: decode for example.com used to absorb sub.example.com
+        # fragments via endswith() and garble the payload
+        proof = secrets.token_bytes(PROOF_BYTES)
+        sub_sans = encode_proof_sans(proof, "sub.example.com")
+        assert all(s.endswith(".example.com") for s in sub_sans)
+        with pytest.raises(EncodingError):
+            decode_proof_sans(sub_sans, "example.com")
+        decoded, _ = decode_proof_sans(sub_sans, "sub.example.com")
+        assert decoded == proof
+
     def test_is_nope_san(self):
         assert is_nope_san("n0pe.aaa.example.com")
         assert is_nope_san("n1pe.bbb.example.com")
