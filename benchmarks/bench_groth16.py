@@ -25,6 +25,11 @@ from repro.telemetry.trace import span
 
 FR = PrimeField(BN254_R)
 
+#: --no-regress floor: a workers=N engine may not run meaningfully slower
+#: than serial.  Adaptive dispatch keeps undersized kernels serial, so the
+#: two runs should be near-identical; 0.98 absorbs timer noise only.
+NO_REGRESS_FLOOR = 0.98
+
 
 def chain_circuit(m):
     cs = ConstraintSystem(FR)
@@ -120,6 +125,11 @@ def main(argv=None):
                         help="enable span tracing and print the span tree")
     parser.add_argument("--no-record", action="store_true",
                         help="skip writing BENCH_groth16.json")
+    parser.add_argument(
+        "--no-regress", action="store_true",
+        help="fail (exit 1) unless the workers=N engine keeps speedup >= "
+             "%.2f — the adaptive-dispatch never-regress gate" % NO_REGRESS_FLOOR,
+    )
     args = parser.parse_args(argv)
 
     m = args.m or (96 if args.smoke else 1024)
@@ -141,7 +151,12 @@ def main(argv=None):
         results = {"serial_s": serial_s, "parallel_s": parallel_s,
                    "speedup": speedup, "proof_bytes": len(proof_bytes)}
         print("wrote %s" % write_bench_record("groth16", config, results))
+    if args.no_regress and speedup < NO_REGRESS_FLOOR:
+        print("REGRESSION: workers=%d speedup %.3f < %.2f floor"
+              % (args.workers, speedup, NO_REGRESS_FLOOR))
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -112,16 +112,52 @@ def jac_to_affine(curve, pt):
     return (X * zinv2 % p, Y * zinv2 % p * zinv % p)
 
 
-def jac_mul(curve, pt, k):
-    """Scalar multiplication of a Jacobian point (double-and-add, MSB first)."""
+def jac_mul(curve, pt, k, window=4):
+    """Scalar multiplication of a Jacobian point (signed fixed-window ladder).
+
+    ``k`` is recoded into signed ``window``-bit digits in
+    ``[-(2^(w-1) - 1), 2^(w-1)]`` (wNAF-style, carry folded upward), so the
+    table only stores the ``2^(w-1)`` positive multiples — negative digits
+    add the negated point, one field negation.  Versus double-and-add this
+    trades ``~bits/2`` conditional adds for ``~bits/w`` plus the table
+    setup, a ~25% saving on a 256-bit scalar.
+    """
     k %= curve.order
     if k == 0 or jac_is_infinity(pt):
         return JAC_INFINITY
+    if k.bit_length() <= window + 1:
+        # tiny scalar: the table setup would dominate
+        result = JAC_INFINITY
+        for bit in bin(k)[2:]:
+            result = jac_double(curve, result)
+            if bit == "1":
+                result = jac_add(curve, result, pt)
+        return result
+    half = 1 << (window - 1)
+    full = 1 << window
+    mask = full - 1
+    digits = []  # least significant first
+    n = k
+    while n:
+        d = n & mask
+        n >>= window
+        if d > half:
+            d -= full
+            n += 1
+        digits.append(d)
+    multiples = [pt]  # multiples[i] = (i + 1) * pt, i + 1 up to 2^(w-1)
+    for _ in range(half - 1):
+        multiples.append(jac_add(curve, multiples[-1], pt))
+    p = curve.field.p
     result = JAC_INFINITY
-    for bit in bin(k)[2:]:
-        result = jac_double(curve, result)
-        if bit == "1":
-            result = jac_add(curve, result, pt)
+    for d in reversed(digits):
+        for _ in range(window):
+            result = jac_double(curve, result)
+        if d > 0:
+            result = jac_add(curve, result, multiples[d - 1])
+        elif d < 0:
+            x, y, z = multiples[-d - 1]
+            result = jac_add(curve, result, (x, (-y) % p, z))
     return result
 
 

@@ -1,24 +1,36 @@
-"""Scalar decomposition for accelerated ECDSA verification (paper App. C).
+"""Scalar decomposition: accelerated ECDSA (paper App. C) and GLV for MSM.
 
-Antipa et al. [5] observed that checking ``R = h0*G + h1*Q`` (a 256-bit
-2-point MSM) can be transformed into a half-width MSM: find a nonzero ``v``
-such that both ``v`` and ``h1 * v mod n`` fit in ~128 bits, then check the
-equivalent equation with 128-bit scalars.
+Two closely related half-width tricks live here, both built on the same
+extended-Euclidean walk over ``(n, lam)``:
 
-Finding ``v`` uses the extended Euclidean algorithm on ``(n, h1)``, stopped
-at the first remainder below ``sqrt(n)``.  Normally this cost makes the
-transformation unattractive; NOPE's insight (§5.3) is that the *prover* can
-compute ``v`` outside the constraints, and the constraints merely validate
-it — halving the in-circuit MSM width.
+* **Antipa et al. [5]** (:func:`decompose`): checking ``R = h0*G + h1*Q``
+  (a 256-bit 2-point MSM) transforms into a half-width MSM: find a nonzero
+  ``v`` such that both ``v`` and ``h1 * v mod n`` fit in ~128 bits, then
+  check the equivalent equation with 128-bit scalars.  NOPE's insight
+  (§5.3) is that the *prover* computes ``v`` outside the constraints and
+  the constraints merely validate it — halving the in-circuit MSM width.
 
-This module provides the out-of-circuit side: :func:`decompose` is used both
-by the ECDSA gadget's witness generation and by the natively accelerated
-verifier.
+* **GLV [Gallant-Lambert-Vanstone]** (:func:`glv_basis` /
+  :func:`split_scalar` / :func:`curve_endomorphism`): on ``j = 0`` curves
+  (``y^2 = x^3 + b`` with ``p = 1 mod 3``) the map ``phi(x, y) =
+  (beta*x, y)`` is an endomorphism acting as multiplication by a cube root
+  of unity ``lam`` on the prime-order subgroup.  Any 256-bit scalar ``k``
+  splits as ``k = k1 + k2*lam (mod n)`` with ``|k1|, |k2| ~ sqrt(n)``, so
+  ``k*P`` becomes ``k1*P + k2*phi(P)`` — two half-width halves over an
+  endomorphism-mapped base set.  The engine's Pippenger MSM uses this to
+  halve its window count (:mod:`repro.engine.msm`), and the natively
+  accelerated ECDSA verifier uses it on endomorphism-capable curves.
+
+This module provides only out-of-circuit arithmetic; the ECDSA gadget's
+witness generation and the native verifiers share it.
 """
 
 import math
 
 from ..errors import CurveError
+
+#: memo: Curve -> (beta, lam) or None
+_ENDOMORPHISMS = {}
 
 
 def decompose(h1, n):
@@ -54,3 +66,110 @@ def half_width_bound(n):
     range-checks against this bound.
     """
     return (n.bit_length() + 1) // 2 + 1
+
+
+# -- GLV lattice decomposition ----------------------------------------------
+
+
+def glv_basis(lam, n):
+    """Two short lattice vectors ``(a, b)`` with ``a + b*lam = 0 (mod n)``.
+
+    The extended Euclidean walk on ``(n, lam)`` maintains ``t_i * lam =
+    r_i (mod n)``, i.e. every ``(r_i, -t_i)`` lies in the GLV lattice.
+    Stopping at the first remainder below ``sqrt(n)`` yields one short
+    vector; its neighbours supply the second (the shorter of the two, so
+    Babai rounding against the pair keeps both split halves half-width).
+    """
+    lam %= n
+    if lam == 0:
+        raise CurveError("glv_basis: lambda is zero mod n")
+    bound = math.isqrt(n)
+    r0, r1 = n, lam
+    t0, t1 = 0, 1
+    while r1 > bound:
+        q = r0 // r1
+        r0, r1 = r1, r0 - q * r1
+        t0, t1 = t1, t0 - q * t1
+    v1 = (r1, -t1)
+    # candidate second vectors: the predecessor and the successor remainders
+    q = r0 // r1
+    r2, t2 = r0 - q * r1, t0 - q * t1
+    prev = (r0, -t0)
+    nxt = (r2, -t2)
+    v2 = prev if _norm2(prev) <= _norm2(nxt) else nxt
+    return v1, v2
+
+
+def _norm2(vec):
+    return vec[0] * vec[0] + vec[1] * vec[1]
+
+
+def _round_div(num, den):
+    """round(num / den) with round-half-up, exact over ints (den > 0)."""
+    return (2 * num + den) // (2 * den)
+
+
+def split_scalar(k, n, basis):
+    """Split ``k`` into ``(k1, k2)`` with ``k1 + k2*lam = k (mod n)``.
+
+    ``basis`` is the pair from :func:`glv_basis`.  Babai round-off against
+    the short basis keeps ``|k1|, |k2|`` within a couple of bits of
+    ``sqrt(n)``; either half may be negative (callers negate the base
+    point rather than the scalar).
+    """
+    (a1, b1), (a2, b2) = basis
+    det = a1 * b2 - a2 * b1
+    if det == 0:
+        raise CurveError("split_scalar: degenerate basis")
+    k %= n
+    # solve (k, 0) = beta1*v1 + beta2*v2 over Q, round to the lattice
+    num1, num2 = k * b2, -k * b1
+    if det < 0:
+        det, num1, num2 = -det, -num1, -num2
+    c1 = _round_div(num1, det)
+    c2 = _round_div(num2, det)
+    k1 = k - c1 * a1 - c2 * a2
+    k2 = -c1 * b1 - c2 * b2
+    return k1, k2
+
+
+def _cube_roots_of_unity(field):
+    """The two primitive cube roots of unity in a field with p = 1 mod 3."""
+    # x^2 + x + 1 = 0  =>  x = (-1 +/- sqrt(-3)) / 2
+    s = field.sqrt((-3) % field.p)
+    inv2 = field.inv(2)
+    r1 = (s - 1) * inv2 % field.p
+    r2 = (-s - 1) * inv2 % field.p
+    return r1, r2
+
+
+def curve_endomorphism(curve):
+    """``(beta, lam)`` for the GLV endomorphism of a ``j = 0`` curve, or None.
+
+    ``phi(x, y) = (beta*x mod p, y)`` equals multiplication by ``lam`` on
+    the prime-order subgroup.  The pairing of the two cube roots mod ``p``
+    with the one mod ``n`` is fixed by testing against the curve generator;
+    the result is memoized per curve.  Curves without the endomorphism
+    (``a != 0``, or ``p != 1 mod 3``) return None.
+    """
+    cached = _ENDOMORPHISMS.get(curve, _ENDOMORPHISMS)
+    if cached is not _ENDOMORPHISMS:
+        return cached
+    params = None
+    p, n = curve.field.p, curve.order
+    if curve.a % p == 0 and p % 3 == 1 and n % 3 == 1:
+        from .curve import jac_mul, jac_to_affine
+
+        lam1, lam2 = _cube_roots_of_unity(curve.scalar_field)
+        betas = _cube_roots_of_unity(curve.field)
+        g = curve.generator
+        for lam in (lam1, lam2):
+            target = jac_to_affine(curve, jac_mul(curve, (g.x, g.y, 1), lam))
+            for beta in betas:
+                if target == (beta * g.x % p, g.y):
+                    params = (beta, lam)
+                    break
+            if params is not None:
+                break
+    _ENDOMORPHISMS[curve] = params
+    return params

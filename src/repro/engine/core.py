@@ -2,17 +2,26 @@
 
 An :class:`Engine` bundles an :class:`~repro.engine.config.EngineConfig`
 with the memoized caches (twiddle/root tables, fixed-base tables, prepared
-proving keys) and, when ``workers > 1``, a lazily-created process pool used
-by the window-sliced MSM and the per-polynomial coset FFTs.  Serial and
-parallel engines produce identical group elements — parallelism only
+proving keys) and, when ``workers > 1``, a lazily-created *persistent warm*
+process pool used by the window-sliced MSM and the per-polynomial coset
+FFTs: the pool outlives individual kernel calls, and its workers are warmed
+(forked and imported) at creation rather than on the first hot MSM.  Serial
+and parallel engines produce identical group elements — parallelism only
 re-associates exact arithmetic — so proofs are byte-identical across
 configurations.
+
+Dispatch is adaptive (see :class:`~repro.engine.config.EngineConfig`):
+kernels below the calibrated size thresholds run serially even on a
+``workers=N`` engine, and the effective worker count is capped at the host
+CPU count, so a parallel engine never regresses below serial.
 
 ``DEFAULT_ENGINE`` is the module-wide serial engine; every API that accepts
 an ``engine=`` argument treats ``None`` as "use the default".  If the host
 cannot create a process pool (restricted sandboxes, missing semaphores),
 the engine degrades to serial silently rather than failing the proof.
 """
+
+import os
 
 from ..telemetry import metrics as _metrics
 from ..telemetry.trace import span as _span
@@ -42,6 +51,8 @@ _MSM_POINTS = _metrics.histogram("msm.points")
 _MSM_CALLS = _metrics.counter("msm.calls")
 _POOL_TASKS = _metrics.counter("pool.tasks")
 _POOL_FALLBACKS = _metrics.counter("pool.fallbacks")
+_POOL_WARMUPS = _metrics.counter("pool.warmups")
+_POOL_SERIAL_KEEPS = _metrics.counter("pool.serial_keeps")
 _EVAL_ROWS_FULL = _metrics.counter("r1cs.rows.full")
 _R1CS_CONSTRAINTS = _metrics.gauge("r1cs.constraints")
 
@@ -52,6 +63,11 @@ def _jacobian_group(curve):
         group = JacobianGroup(curve)
         _jacobian_groups[curve] = group
     return group
+
+
+def _noop():
+    """Warm-up task: forces a worker fork + module import, returns nothing."""
+    return None
 
 
 class Engine:
@@ -71,8 +87,25 @@ class Engine:
 
     # -- pool management ------------------------------------------------------
 
+    @property
+    def effective_workers(self):
+        """Worker count after the adaptive CPU cap.
+
+        Forking more workers than the host has cores cannot make exact
+        arithmetic faster — the processes time-slice one another plus pay
+        dispatch and pickling.  An adaptive engine therefore clamps to
+        ``os.cpu_count()``; a 1-core host runs serial regardless of the
+        requested ``workers`` (this is the never-regress dispatch rule's
+        degenerate case).
+        """
+        if not self.config.adaptive:
+            return self.config.workers
+        return min(self.config.workers, os.cpu_count() or 1)
+
     def _get_pool(self):
-        if self.config.workers <= 1 or self._pool_broken:
+        if self.effective_workers <= 1 or self._pool_broken:
+            if self.config.workers > 1 and not self._pool_broken:
+                _POOL_SERIAL_KEEPS.inc()
             return None
         if self._pool is None:
             try:
@@ -83,9 +116,18 @@ class Engine:
                     ctx = multiprocessing.get_context("fork")
                 except ValueError:
                     ctx = multiprocessing.get_context()
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.config.workers, mp_context=ctx
+                pool = ProcessPoolExecutor(
+                    max_workers=self.effective_workers, mp_context=ctx
                 )
+                # warm the pool: pay fork + import once at creation, in a
+                # span, instead of inside the first timed MSM
+                with _span("engine.pool_warmup", workers=self.effective_workers):
+                    for fut in [
+                        pool.submit(_noop) for _ in range(self.effective_workers)
+                    ]:
+                        fut.result()
+                _POOL_WARMUPS.inc()
+                self._pool = pool
             except Exception:
                 self._pool_broken = True
                 return None
@@ -117,7 +159,7 @@ class Engine:
                 try:
                     return msm_generic(
                         group, bases, scalars, pool=pool,
-                        workers=self.config.workers,
+                        workers=self.effective_workers,
                     )
                 except Exception:
                     # a dead/forbidden pool must not kill the proof
@@ -183,9 +225,17 @@ class Engine:
         """IFFT + coset-FFT each vector; parallel across the pool if enabled.
 
         This is the prover's A/B/C transform: three independent
-        ``m log m`` passes that parallelize perfectly.
+        ``m log m`` passes that parallelize perfectly — but only once the
+        vectors are large enough that shipping them to a worker beats
+        transforming them in place (``min_parallel_fft``; the smoke-size
+        128-point vectors measured a 25% slowdown through the pool).
         """
-        pool = self._get_pool() if len(eval_vectors) > 1 else None
+        pool = None
+        if len(eval_vectors) > 1 and (
+            not eval_vectors
+            or len(eval_vectors[0]) >= self.config.min_parallel_fft
+        ):
+            pool = self._get_pool()
         with _span("engine.coset_extend", vectors=len(eval_vectors)):
             if pool is not None:
                 try:

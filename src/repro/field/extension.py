@@ -14,6 +14,16 @@ bottom out in a single native ``pow(x, -1, p)``.
 
 Elements are immutable; coefficients are plain ints (for Fq2) or lower-level
 tower elements.
+
+Multiplication through the tower uses **lazy reduction**: the ``_m2`` /
+``_m6`` helpers run Karatsuba over raw integer coefficient tuples with the
+``% p`` on accumulated cross terms deferred until the output element is
+constructed (Python ints never overflow, so intermediates may grow a few
+bits past ``2p^2`` harmlessly).  A full Fq12 multiplication therefore pays
+exactly 12 modular reductions and zero intermediate object allocations —
+the Miller loop in :mod:`repro.pairing.ate` runs entirely on these paths.
+Canonical reduction at construction keeps results bit-identical to the
+eagerly-reduced forms.
 """
 
 from ..errors import FieldError
@@ -22,6 +32,61 @@ from ..errors import FieldError
 BN254_P = 21888242871839275222246405745257275088696311157297823662689037894645226208583
 
 _P = BN254_P
+
+
+# -- lazy-reduction kernels (raw int tuples, `% p` deferred to construction) --
+
+
+def _m2(a0, a1, b0, b1):
+    """Karatsuba product in Fq2 over raw ints; returns an unreduced pair."""
+    t0 = a0 * b0
+    t1 = a1 * b1
+    return t0 - t1, (a0 + a1) * (b0 + b1) - t0 - t1
+
+
+def _xi2(c0, c1):
+    """Raw multiplication by the Fq6 non-residue xi = 9 + u."""
+    return 9 * c0 - c1, 9 * c1 + c0
+
+
+def _m6(a, b):
+    """Toom-style Fq6 product over raw 6-tuples (6 raw Fq2 muls, no mods)."""
+    a00, a01, a10, a11, a20, a21 = a
+    b00, b01, b10, b11, b20, b21 = b
+    v00, v01 = _m2(a00, a01, b00, b01)
+    v10, v11 = _m2(a10, a11, b10, b11)
+    v20, v21 = _m2(a20, a21, b20, b21)
+    # a1 b2 + a2 b1
+    t00, t01 = _m2(a10 + a20, a11 + a21, b10 + b20, b11 + b21)
+    t00 -= v10 + v20
+    t01 -= v11 + v21
+    # a0 b1 + a1 b0
+    t10, t11 = _m2(a00 + a10, a01 + a11, b00 + b10, b01 + b11)
+    t10 -= v00 + v10
+    t11 -= v01 + v11
+    # a0 b2 + a2 b0
+    t20, t21 = _m2(a00 + a20, a01 + a21, b00 + b20, b01 + b21)
+    t20 -= v00 + v20
+    t21 -= v01 + v21
+    x0, x1 = _xi2(t00, t01)
+    y0, y1 = _xi2(v20, v21)
+    return (v00 + x0, v01 + x1, t10 + y0, t11 + y1, t20 + v10, t21 + v11)
+
+
+def _mulv6(a):
+    """Raw multiplication by v (v^3 = xi) on a 6-tuple."""
+    x0, x1 = _xi2(a[4], a[5])
+    return (x0, x1, a[0], a[1], a[2], a[3])
+
+
+def _add6(a, b):
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2],
+            a[3] + b[3], a[4] + b[4], a[5] + b[5])
+
+
+def _sub6(a, b):
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2],
+            a[3] - b[3], a[4] - b[4], a[5] - b[5])
 
 
 class Fq2:
@@ -166,19 +231,24 @@ class Fq6:
     def __neg__(self):
         return Fq6(-self.c0, -self.c1, -self.c2)
 
+    def _raw(self):
+        """Coefficients as a raw 6-tuple for the lazy-reduction kernels."""
+        c0, c1, c2 = self.c0, self.c1, self.c2
+        return (c0.c0, c0.c1, c1.c0, c1.c1, c2.c0, c2.c1)
+
+    @staticmethod
+    def _from_raw(raw):
+        """Reduce a raw 6-tuple into a canonical element (6 mods total)."""
+        return Fq6(
+            Fq2(raw[0], raw[1]), Fq2(raw[2], raw[3]), Fq2(raw[4], raw[5])
+        )
+
     def __mul__(self, other):
         if isinstance(other, (int, Fq2)):
             return Fq6(self.c0 * other, self.c1 * other, self.c2 * other)
-        a0, a1, a2 = self.c0, self.c1, self.c2
-        b0, b1, b2 = other.c0, other.c1, other.c2
-        # Toom-style interpolation (CH-SQR / Devegili): 6 Fq2 muls.
-        v0 = a0 * b0
-        v1 = a1 * b1
-        v2 = a2 * b2
-        t0 = (a1 + a2) * (b1 + b2) - v1 - v2  # a1 b2 + a2 b1
-        t1 = (a0 + a1) * (b0 + b1) - v0 - v1  # a0 b1 + a1 b0
-        t2 = (a0 + a2) * (b0 + b2) - v0 - v2  # a0 b2 + a2 b0
-        return Fq6(v0 + t0.mul_by_xi(), t1 + v2.mul_by_xi(), t2 + v1)
+        # Toom-style interpolation (CH-SQR / Devegili): 6 raw Fq2 muls with
+        # all cross-term reductions deferred to construction.
+        return Fq6._from_raw(_m6(self._raw(), other._raw()))
 
     __rmul__ = __mul__
 
@@ -252,20 +322,27 @@ class Fq12:
     def __mul__(self, other):
         if isinstance(other, (int, Fq2, Fq6)):
             return Fq12(self.c0 * other, self.c1 * other)
-        a0, a1 = self.c0, self.c1
-        b0, b1 = other.c0, other.c1
-        v0 = a0 * b0
-        v1 = a1 * b1
-        t = (a0 + a1) * (b0 + b1) - v0 - v1
-        return Fq12(v0 + v1.mul_by_v(), t)
+        # Karatsuba over raw 6-tuples: 18 raw Fq2 muls, 12 mods total.
+        a0, a1 = self.c0._raw(), self.c1._raw()
+        b0, b1 = other.c0._raw(), other.c1._raw()
+        v0 = _m6(a0, b0)
+        v1 = _m6(a1, b1)
+        t = _sub6(_sub6(_m6(_add6(a0, a1), _add6(b0, b1)), v0), v1)
+        return Fq12(
+            Fq6._from_raw(_add6(v0, _mulv6(v1))), Fq6._from_raw(t)
+        )
 
     __rmul__ = __mul__
 
     def square(self):
-        a0, a1 = self.c0, self.c1
-        v0 = a0 * a1
-        t = (a0 + a1) * (a0 + a1.mul_by_v())
-        return Fq12(t - v0 - v0.mul_by_v(), v0 + v0)
+        # complex squaring over raw 6-tuples (2 raw Fq6 muls, 12 mods)
+        a0, a1 = self.c0._raw(), self.c1._raw()
+        v0 = _m6(a0, a1)
+        t = _m6(_add6(a0, a1), _add6(a0, _mulv6(a1)))
+        return Fq12(
+            Fq6._from_raw(_sub6(_sub6(t, v0), _mulv6(v0))),
+            Fq6._from_raw(_add6(v0, v0)),
+        )
 
     def conjugate(self):
         """b0 - b1 w, which equals x^(p^6) (the unitary inverse)."""

@@ -147,28 +147,35 @@ class PrimeField:
 
     # -- batch operations ---------------------------------------------------
 
-    def batch_inv(self, xs):
+    def batch_inverse(self, xs):
         """Invert a list of nonzero elements with one field inversion.
 
-        Montgomery's trick: n multiplications + 1 inversion instead of n
-        inversions.
+        Montgomery's trick: 3n multiplications + 1 inversion instead of n
+        inversions.  This is the shared helper behind every batched-affine
+        hot path (Pippenger bucket accumulation, coordinate normalization);
+        calling :meth:`inv` in a loop where this applies is a lint smell
+        (see the ``inv-in-loop`` hygiene rule).
         """
         n = len(xs)
         if n == 0:
             return []
+        p = self.p
         prefix = [0] * n
         acc = 1
         for i, x in enumerate(xs):
-            if x % self.p == 0:
-                raise FieldError("batch_inv: zero element at index %d" % i)
+            if x % p == 0:
+                raise FieldError("batch_inverse: zero element at index %d" % i)
             prefix[i] = acc
-            acc = acc * x % self.p
+            acc = acc * x % p
         inv_acc = self.inv(acc)
         out = [0] * n
         for i in range(n - 1, -1, -1):
-            out[i] = prefix[i] * inv_acc % self.p
-            inv_acc = inv_acc * xs[i] % self.p
+            out[i] = prefix[i] * inv_acc % p
+            inv_acc = inv_acc * xs[i] % p
         return out
+
+    #: historical name; :meth:`batch_inverse` is the canonical spelling
+    batch_inv = batch_inverse
 
     # -- serialization helpers ----------------------------------------------
 

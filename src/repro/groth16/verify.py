@@ -196,9 +196,11 @@ def _batch_equation(eng, pvk, vk, proofs, public_inputs_list):
             )
         ic_point = eng.msm_points(vk.ic, ic_scalars)
     c_point = eng.msm_points([proof.c for proof in proofs], coeffs)
-    # -z_i * A_i via the engine's Jacobian ladder (no per-step inversions)
+    # -z_i * A_i as z_i * (-A_i): negating the point costs one field
+    # negation, while folding the minus into the scalar (R - z) would turn
+    # the 128-bit batch coefficient into a full-width 254-bit ladder
     ab_pairs = [
-        (eng.msm_points([proof.a], [R - (z % R)]), proof.b)
+        (eng.msm_points([-proof.a], [z % R]), proof.b)
         for z, proof in zip(coeffs, proofs)
     ]
     # e(alpha, beta)^(sum z_i) rides the Miller product as e(s*alpha, beta)

@@ -24,6 +24,14 @@ Repo rules enforced (each a check name, keyed per file + enclosing scope):
   must funnel through :mod:`repro.telemetry.clocks` so one injected clock
   makes traces, timelines, and benchmarks deterministic.  Severity:
   warning (baseline-gated like everything else).
+* ``inv-in-loop``      — a modular-inverse call (``inv(...)`` /
+  ``*.inv(...)``) lexically inside a ``for``/``while`` body.  One
+  inversion costs hundreds of multiplications; a loop of them almost
+  always wants Montgomery batch inversion
+  (``PrimeField.batch_inverse``: ``3n`` multiplications + one inverse
+  for the whole batch, as the MSM's batched-affine bucket accumulation
+  does).  Severity: warning — loops whose trip count is provably tiny
+  can stay in the baseline.
 * ``wire-bypass``      — importing or calling the raw proof wire
   primitives (``proof_to_bytes``, ``encode_proof_sans``,
   ``decode_payload_chars``, the ``g1``/``g2`` point codecs, ...) outside
@@ -144,6 +152,7 @@ class _Scope(ast.NodeVisitor):
         self.relpath = relpath
         self.findings = findings
         self.stack = []
+        self.loop_depth = 0
         self.in_crypto = relpath.startswith(CRYPTO_PATHS)
         self.in_float_ban = relpath.startswith(FLOAT_PATHS)
         self.clock_exempt = relpath.startswith(_CLOCK_EXEMPT_PATHS)
@@ -172,6 +181,34 @@ class _Scope(ast.NodeVisitor):
 
     def visit_ClassDef(self, node):
         self._visit_scoped(node)
+
+    def _visit_loop(self, node):
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+
+    def visit_For(self, node):
+        self._visit_loop(node)
+
+    def visit_AsyncFor(self, node):
+        self._visit_loop(node)
+
+    def visit_While(self, node):
+        self._visit_loop(node)
+
+    # comprehensions loop too: [f.inv(x) for x in xs] is the exact shape
+    # batch_inverse replaces
+    def visit_ListComp(self, node):
+        self._visit_loop(node)
+
+    def visit_SetComp(self, node):
+        self._visit_loop(node)
+
+    def visit_DictComp(self, node):
+        self._visit_loop(node)
+
+    def visit_GeneratorExp(self, node):
+        self._visit_loop(node)
 
     def visit_FunctionDef(self, node):
         self._check_defaults(node)
@@ -301,12 +338,19 @@ class _Scope(ast.NodeVisitor):
                 "repro.telemetry.clocks so injected clocks cover every "
                 "timing site" % node.func.attr,
             )
+        callee = None
+        if isinstance(node.func, ast.Name):
+            callee = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            callee = node.func.attr
+        if callee == "inv" and self.loop_depth > 0:
+            self.add(
+                "inv-in-loop", "warning", node,
+                "modular inverse inside a loop; hoist into one "
+                "PrimeField.batch_inverse call (3n mults + 1 inversion) "
+                "unless the trip count is provably tiny",
+            )
         if not self.wire_exempt:
-            callee = None
-            if isinstance(node.func, ast.Name):
-                callee = node.func.id
-            elif isinstance(node.func, ast.Attribute):
-                callee = node.func.attr
             if callee in _WIRE_PRIMITIVES:
                 self.add(
                     "wire-bypass", "error", node,

@@ -1,9 +1,13 @@
 """Optimal ate pairing on BN254.
 
-The Miller loop follows the classical formulation over E(Fq12): the G2
-input is untwisted into Fq12, the G1 input is embedded, and line functions
-are evaluated with affine arithmetic (Fq12 inversions are cheap here because
-the tower inversion bottoms out in a single native modular inverse).
+The single-pair Miller loop follows the classical formulation over E(Fq12):
+the G2 input is untwisted into Fq12, the G1 input is embedded, and line
+functions are evaluated with affine arithmetic.  The multi-pair loop
+(:func:`multi_miller`) instead keeps raw G2 points on the sextic twist —
+doublings, additions, and the batched slope inversions all stay in Fq2 —
+and lifts only the line values into Fq12, sparsely, by slot placement
+(see :func:`_twist_line_value`).  Both formulations produce identical
+field elements; the untwisted path doubles as a correctness cross-check.
 
 The final exponentiation splits into the easy part
 ``f^((p^6 - 1)(p^2 + 1))`` — conjugation, one inversion, one Frobenius —
@@ -20,9 +24,15 @@ accepts a :class:`G2Prepared` wherever it accepts a ``G2Point``.
 """
 
 from ..errors import CurveError
-from ..field.extension import BN254_P, Fq12
+from ..field.extension import BN254_P, Fq2, Fq6, Fq12
 from ..telemetry.trace import span as _span
-from .bn254 import ATE_LOOP_COUNT, BN254_R, embed_g1, untwist
+from .bn254 import (
+    ATE_LOOP_COUNT,
+    BN254_R,
+    embed_g1,
+    twist_frobenius,
+    untwist,
+)
 
 _P = BN254_P
 _HARD_EXPONENT = (_P ** 4 - _P ** 2 + 1) // BN254_R
@@ -76,6 +86,112 @@ def _add_step(pt, q):
     lam = (y2 - y1) * (x2 - x1).inverse()
     x3 = lam.square() - x1 - x2
     return (lam, y1 - lam * x1), (x3, lam * (x1 - x3) - y1)
+
+
+def _batch_inverse(elems):
+    """Montgomery batch inversion (3(n-1) muls + one inverse), any field.
+
+    Every slope in a Miller-loop step needs one tower inversion, which
+    bottoms out in a full Fermat inverse in Fq — by far the most expensive
+    single field operation.  A batch of raw pairs (the batched verifier's
+    per-proof ``(z_i * -A_i, B_i)`` terms) advances in lockstep, so each
+    shared-loop iteration can pay ONE inversion for all pairs.  Works over
+    Fq2 (twist coordinates) and Fq12 alike — only ``*`` and ``inverse``.
+    """
+    n = len(elems)
+    if n == 1:
+        return [elems[0].inverse()]
+    prefix = [elems[0]]
+    for e in elems[1:]:
+        prefix.append(prefix[-1] * e)
+    inv_acc = prefix[-1].inverse()
+    out = [None] * n
+    for i in range(n - 1, 0, -1):
+        out[i] = inv_acc * prefix[i - 1]
+        inv_acc = inv_acc * elems[i]
+    out[0] = inv_acc
+    return out
+
+
+def _double_steps(pts):
+    """Batched :func:`_double_step` over a list of points."""
+    invs = _batch_inverse([y + y for _, y in pts])
+    out = []
+    for (x, y), inv_2y in zip(pts, invs):
+        lam = x.square() * 3 * inv_2y
+        x3 = lam.square() - x - x
+        out.append(((lam, y - lam * x), (x3, lam * (x - x3) - y)))
+    return out
+
+
+def _add_steps(pairs):
+    """Batched :func:`_add_step` over a list of (pt, q) pairs."""
+    denoms = []
+    for (x1, y1), (x2, y2) in pairs:
+        if x1 == x2 and y1 == y2:
+            denoms.append(y1 + y1)
+        else:
+            denoms.append(x2 - x1)
+    invs = _batch_inverse(denoms)
+    out = []
+    for ((x1, y1), (x2, y2)), inv_d in zip(pairs, invs):
+        if x1 == x2 and y1 == y2:
+            lam = x1.square() * 3 * inv_d
+        else:
+            lam = (y2 - y1) * inv_d
+        x3 = lam.square() - x1 - x2
+        out.append(((lam, y1 - lam * x1), (x3, lam * (x1 - x3) - y1)))
+    return out
+
+
+def _line_coeffs_batch(pairs):
+    """Batched :func:`_line_coeffs`: one shared inversion for all slopes."""
+    denoms = []
+    idx = []
+    coeffs = [None] * len(pairs)
+    for i, ((x1, y1), (x2, y2)) in enumerate(pairs):
+        if x1 != x2:
+            denoms.append(x2 - x1)
+            idx.append(i)
+        elif y1 == y2:
+            denoms.append(y1 + y1)
+            idx.append(i)
+        else:
+            coeffs[i] = (None, -x1)
+    if denoms:
+        for i, inv_d in zip(idx, _batch_inverse(denoms)):
+            (x1, y1), (x2, y2) = pairs[i]
+            if x1 != x2:
+                lam = (y2 - y1) * inv_d
+            else:
+                lam = x1.square() * 3 * inv_d
+            coeffs[i] = (lam, y1 - lam * x1)
+    return coeffs
+
+
+def _twist_line_value(coeffs, t):
+    """Evaluate twist-coordinate line coefficients at a G1 point ``(xt, yt)``.
+
+    ``coeffs`` is the Fq2 slope/intercept of a line through TWIST points.
+    Untwisting scales the slope by ``w`` and the intercept by ``w^3``
+    (vertical lines: the x-offset by ``w^2``), so the line evaluated at the
+    embedded G1 point occupies exactly three Fq12 coefficient slots:
+
+        (lam*w)*xt - yt + b*w^3  =  Fq12(Fq6(-yt, 0, 0), Fq6(lam*xt, b, 0))
+
+    Assembling the sparse element by slot placement replaces the full Fq12
+    untwist multiplications and the ``a * xt`` product with two Fq2-by-int
+    scalar products.
+    """
+    lam, b = coeffs
+    xt, yt = t
+    if lam is None:
+        # vertical: x - x1 on the twist; -x1 rides the w^2 slot
+        return Fq12(Fq6(Fq2(xt, 0), b, Fq2.zero()), Fq6.zero())
+    return Fq12(
+        Fq6(Fq2(-yt, 0), Fq2.zero(), Fq2.zero()),
+        Fq6(lam * xt, b, Fq2.zero()),
+    )
 
 
 class G2Prepared:
@@ -191,7 +307,12 @@ def multi_miller(pairs):
     :class:`G2Prepared`, mixed freely.
     """
     prepared_states = []  # (embedded g1, line-coefficient iterator)
-    raw_states = []  # [r_pt, q_pt, embedded g1]
+    # Raw pairs keep their point arithmetic ON THE TWIST: r and q are Fq2
+    # coordinate pairs, so every doubling/addition costs a handful of Fq2
+    # operations instead of full Fq12 ones, and the per-step slope inversion
+    # batches in Fq2.  Only the line VALUES are lifted into Fq12, sparsely,
+    # by :func:`_twist_line_value`.
+    raw_states = []  # [r_twist, q_twist, (g1.x, g1.y)]
     for g1_point, g2_point in pairs:
         if isinstance(g2_point, G2Prepared):
             p_pt = embed_g1(g1_point)
@@ -199,11 +320,10 @@ def multi_miller(pairs):
                 continue
             prepared_states.append((p_pt, iter(g2_point.coeffs)))
         else:
-            q_pt = untwist(g2_point)
-            p_pt = embed_g1(g1_point)
-            if q_pt is None or p_pt is None:
+            if g2_point.is_infinity or g1_point.is_infinity:
                 continue
-            raw_states.append([q_pt, q_pt, p_pt])
+            q_tw = (g2_point.x, g2_point.y)
+            raw_states.append([q_tw, q_tw, (g1_point.x, g1_point.y)])
     f = Fq12.one()
     if not prepared_states and not raw_states:
         return f
@@ -211,26 +331,42 @@ def multi_miller(pairs):
         f = f.square()
         for p_pt, lines in prepared_states:
             f = f * _eval_line(next(lines), p_pt)
-        for state in raw_states:
-            line, state[0] = _double_step(state[0])
-            f = f * _eval_line(line, state[2])
+        if raw_states:
+            # all raw pairs advance in lockstep: one batched Fq2 inversion
+            # per step instead of one Fermat inverse per pair
+            for state, (line, r_pt) in zip(
+                raw_states, _double_steps([s[0] for s in raw_states])
+            ):
+                state[0] = r_pt
+                f = f * _twist_line_value(line, state[2])
         if ATE_LOOP_COUNT & (1 << i):
             for p_pt, lines in prepared_states:
                 f = f * _eval_line(next(lines), p_pt)
-            for state in raw_states:
-                line, state[0] = _add_step(state[0], state[1])
-                f = f * _eval_line(line, state[2])
+            if raw_states:
+                for state, (line, r_pt) in zip(
+                    raw_states, _add_steps([(s[0], s[1]) for s in raw_states])
+                ):
+                    state[0] = r_pt
+                    f = f * _twist_line_value(line, state[2])
     # Frobenius endomorphism corrections (optimal ate tail).
     for p_pt, lines in prepared_states:
         f = f * _eval_line(next(lines), p_pt)
         f = f * _eval_line(next(lines), p_pt)
-    for state in raw_states:
-        r_pt, q_pt, p_pt = state
-        q1 = (q_pt[0].frobenius(), q_pt[1].frobenius())
-        nq2 = (q1[0].frobenius(), -(q1[1].frobenius()))
-        line, r_pt = _add_step(r_pt, q1)
-        f = f * _eval_line(line, p_pt)
-        f = f * _line(r_pt, nq2, p_pt)
+    if raw_states:
+        q1s = [twist_frobenius(s[1]) for s in raw_states]
+        steps = _add_steps(
+            [(s[0], q1) for s, q1 in zip(raw_states, q1s)]
+        )
+        nq2s = []
+        for q1 in q1s:
+            x2, y2 = twist_frobenius(q1)
+            nq2s.append((x2, -y2))
+        finals = _line_coeffs_batch(
+            [(r_pt, nq2) for (_, r_pt), nq2 in zip(steps, nq2s)]
+        )
+        for state, (line, _), fin in zip(raw_states, steps, finals):
+            f = f * _twist_line_value(line, state[2])
+            f = f * _twist_line_value(fin, state[2])
     return f
 
 

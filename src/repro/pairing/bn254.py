@@ -146,3 +146,18 @@ def embed_g1(pt):
     if pt.is_infinity:
         return None
     return (embed_fq(pt.x), embed_fq(pt.y))
+
+
+# Frobenius directly on twist coordinates.  Untwisting, applying x -> x^p on
+# E(Fq12), and re-twisting multiplies the Fq2 coordinates by powers of
+# w^(p-1), which collapses to the Fq2 scalar xi^((p-1)/6) because w^6 = xi
+# and p = 1 mod 6.  The Fq2 Frobenius itself is conjugation (p = 3 mod 4).
+_W_FROB = XI.pow((BN254_P - 1) // 6)
+TWIST_FROB_X = _W_FROB.square()
+TWIST_FROB_Y = TWIST_FROB_X * _W_FROB
+
+
+def twist_frobenius(pt):
+    """pi(Q) on twist coordinates: untwist -> Frobenius -> twist, fused."""
+    x, y = pt
+    return (x.conjugate() * TWIST_FROB_X, y.conjugate() * TWIST_FROB_Y)

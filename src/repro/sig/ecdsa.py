@@ -12,9 +12,43 @@ import hashlib
 import hmac
 import secrets
 
-from ..ec.glv import decompose
+from ..ec.glv import curve_endomorphism, decompose, glv_basis, split_scalar
 from ..ec.msm import straus
 from ..errors import SignatureError
+
+#: memo: Curve -> glv_basis(lam, n), for curves with an endomorphism
+_GLV_BASES = {}
+
+
+def _glv_terms(curve, points, scalars):
+    """GLV-split every (point, scalar) pair into half-width pairs.
+
+    On endomorphism-capable curves (``j = 0``, ``p = 1 mod 3``) each term
+    ``k*P`` becomes ``k1*P + k2*phi(P)`` with ``|k1|, |k2| ~ sqrt(n)``;
+    negative halves negate the point instead.  Returns ``(points, scalars)``
+    with all scalars positive, or None when the curve has no endomorphism.
+    """
+    params = curve_endomorphism(curve)
+    if params is None:
+        return None
+    beta, lam = params
+    n = curve.order
+    basis = _GLV_BASES.get(curve)
+    if basis is None:
+        basis = _GLV_BASES[curve] = glv_basis(lam, n)
+    p = curve.field.p
+    out_pts, out_sc = [], []
+    for pt, k in zip(points, scalars):
+        k1, k2 = split_scalar(k, n, basis)
+        phi = curve.point(beta * pt.x % p, pt.y) if k2 else None
+        for base, half in ((pt, k1), (phi, k2)):
+            if not half:
+                continue
+            if half < 0:
+                base, half = -base, -half
+            out_pts.append(base)
+            out_sc.append(half)
+    return out_pts, out_sc
 
 
 def bits2int(data, n):
@@ -93,7 +127,14 @@ class EcdsaPublicKey:
         return cls(curve, curve.point(x, y))
 
     def verify(self, msg_hash, signature):
-        """Standard ECDSA verification; raises SignatureError on failure."""
+        """Standard ECDSA verification; raises SignatureError on failure.
+
+        On endomorphism-capable curves (secp256k1) the check
+        ``u1*G + u2*Q`` runs through a GLV split first: four half-width
+        scalars over ``{G, phi(G), Q, phi(Q)}`` halve the doubling count of
+        the joint ladder (window 1 keeps the joint table small).  The
+        result is the same group element either way.
+        """
         n = self.curve.order
         r, s = signature
         if not (1 <= r < n and 1 <= s < n):
@@ -102,7 +143,11 @@ class EcdsaPublicKey:
         w = pow(s, -1, n)
         u1 = h * w % n
         u2 = r * w % n
-        pt = straus([self.curve.generator, self.point], [u1, u2])
+        terms = _glv_terms(self.curve, [self.curve.generator, self.point], [u1, u2])
+        if terms is not None and terms[0]:
+            pt = straus(terms[0], terms[1], window=1)
+        else:
+            pt = straus([self.curve.generator, self.point], [u1, u2])
         if pt.is_infinity or pt.x % n != r:
             raise SignatureError("ECDSA verification failed")
 

@@ -224,6 +224,26 @@ class TestHygiene:
         )
         assert lint_source(src, "x509/asn1.py") == []
 
+    def test_inv_in_loop_flagged(self):
+        src = (
+            "def f(field, xs):\n"
+            "    for x in xs:\n"
+            "        y = field.inv(x)\n"
+            "    return y\n"
+        )
+        (f,) = lint_source(src, "gadgets/demo.py")
+        assert (f.check, f.severity) == ("inv-in-loop", "warning")
+        assert "batch_inverse" in f.message
+
+    def test_inv_in_comprehension_flagged(self):
+        src = "def f(field, xs):\n    return [field.inv(x) for x in xs]\n"
+        (f,) = lint_source(src, "engine/demo.py")
+        assert f.check == "inv-in-loop"
+
+    def test_inv_outside_loop_not_flagged(self):
+        src = "def f(field, x):\n    return field.inv(x)\n"
+        assert lint_source(src, "gadgets/demo.py") == []
+
     def test_wire_bypass_import_flagged(self):
         src = "from repro.x509.san import decode_proof_sans\n"
         (f,) = lint_source(src, "core/client.py")
