@@ -24,10 +24,16 @@ test vector, including tampered proofs — asserted before timing.
 Run::
 
     PYTHONPATH=src python benchmarks/bench_verify_throughput.py [--smoke]
-        [--batch N] [--workers N] [--rounds N]
+        [--batch N] [--workers N] [--rounds N] [--no-regress] [--no-record]
+
+``--no-regress`` holds this run's batched-vs-prepared speedup to >= 0.98x
+the checked-in ``BENCH_verify_throughput.json`` reference (the record's
+conservative per-round floor), mirroring ``bench_groth16.py``'s gate.
 """
 
 import argparse
+import json
+import os
 
 from repro import telemetry
 from repro.ec.curves import BN254_R
@@ -49,6 +55,32 @@ from repro.telemetry.trace import span
 
 FR = PrimeField(BN254_R)
 R = BN254_R
+
+#: --no-regress floor: this run's batched-vs-prepared speedup may not fall
+#: below this fraction of the checked-in BENCH_verify_throughput.json record
+#: (the field-backend never-regress rule: a representation change that does
+#: not win must at least not lose)
+NO_REGRESS_FLOOR = 0.98
+
+
+def recorded_speedup(directory=None):
+    """The gate reference from the checked-in bench record, or None when
+    no record exists yet (first run bootstraps the gate).
+
+    Prefers the conservative per-round floor; records written before the
+    floor existed fall back to the headline best-of ratio.
+    """
+    path = os.path.join(directory or os.getcwd(),
+                        "BENCH_verify_throughput.json")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    results = record.get("results", {})
+    value = results.get("batched_vs_prepared_floor",
+                        results.get("batched_vs_prepared"))
+    return value if isinstance(value, (int, float)) else None
 
 
 def cubic_system(w_val):
@@ -98,13 +130,27 @@ def check_verdicts_identical(vk, pvk, proofs, publics, engines):
     return len(vectors) + 3 * len(engines)
 
 
-def time_per_proof(fn, batch_size, rounds):
-    best = float("inf")
+def time_paths_interleaved(fns, batch_size, rounds):
+    """Per-proof times for each path, round-robin: (best-of list, rows).
+
+    Timing every path once per round (instead of all rounds of one path,
+    then all rounds of the next) keeps the measurements of the paths
+    inside the same time window, so slow drift of the host's load hits
+    them all alike — the *ratios* between paths, which the --no-regress
+    gate consumes, come out far more stable than with sequential timing.
+    The raw per-round rows are returned too, so the caller can derive a
+    conservative per-round ratio floor.
+    """
+    rows = []
     for _ in range(rounds):
-        t0 = perf()
-        fn()
-        best = min(best, perf() - t0)
-    return best / batch_size
+        row = []
+        for fn in fns:
+            t0 = perf()
+            fn()
+            row.append((perf() - t0) / batch_size)
+        rows.append(row)
+    best = [min(row[i] for row in rows) for i in range(len(fns))]
+    return best, rows
 
 
 def bench_cached_lookup(rounds=10000):
@@ -152,15 +198,13 @@ def run(batch_size, workers, rounds):
             assert batch_is_valid(pvk, proofs, publics, engine=parallel)
 
         batched_workers()  # warm the pool outside the timer
-        with span("bench.verify.naive", batch=batch_size):
-            naive_s = time_per_proof(naive, batch_size, rounds)
-        with span("bench.verify.prepared", batch=batch_size):
-            prepared_pp = time_per_proof(prepared, batch_size, rounds)
-        with span("bench.verify.batched", batch=batch_size):
-            batched_pp = time_per_proof(batched, batch_size, rounds)
-        with span("bench.verify.batched_workers", batch=batch_size,
-                  workers=workers):
-            workers_pp = time_per_proof(batched_workers, batch_size, rounds)
+        with span("bench.verify.paths", batch=batch_size, workers=workers,
+                  rounds=rounds):
+            bests, rows = time_paths_interleaved(
+                [naive, prepared, batched, batched_workers],
+                batch_size, rounds,
+            )
+        naive_s, prepared_pp, batched_pp, workers_pp = bests
         results = [
             ("naive verify()", naive_s),
             ("prepared verify()", prepared_pp),
@@ -176,12 +220,19 @@ def run(batch_size, workers, rounds):
             print("%-24s %12.6f %12.1f %9.1fx"
                   % (name, per_proof, 1.0 / per_proof, baseline / per_proof))
         batched_vs_per_proof = prepared_s / batched_s
-        print("\nbatched vs per-proof verify() at N=%d: %.2fx"
-              % (batch_size, batched_vs_per_proof))
+        # the gate reference: the WORST per-round ratio this run observed.
+        # Best-of composites flatter the headline; recording the floor
+        # gives --no-regress a reference a future (noisier) run can
+        # actually be held to without flaking on scheduler jitter.
+        ratio_floor = min(row[1] / row[2] for row in rows)
+        print("\nbatched vs per-proof verify() at N=%d: %.2fx "
+              "(per-round floor %.2fx)"
+              % (batch_size, batched_vs_per_proof, ratio_floor))
         return batched_vs_per_proof, {
             "batch": batch_size,
             "per_proof_s": {name: s for name, s in results},
             "batched_vs_prepared": batched_vs_per_proof,
+            "batched_vs_prepared_floor": ratio_floor,
         }
     finally:
         parallel.close()
@@ -200,11 +251,21 @@ def main(argv=None):
                         help="enable span tracing and print the span tree")
     parser.add_argument("--no-record", action="store_true",
                         help="skip writing BENCH_verify_throughput.json")
+    parser.add_argument(
+        "--no-regress", action="store_true",
+        help="fail (exit 1) unless this run's batched-vs-prepared speedup "
+             "stays >= %.2f x the checked-in record" % NO_REGRESS_FLOOR,
+    )
     args = parser.parse_args(argv)
 
-    rounds = args.rounds or (1 if args.smoke else 3)
+    # --smoke shrinks nothing here: proof *generation* dominates the bench,
+    # the timed section is seconds, and the --no-regress gate needs the
+    # same best-of-3 methodology the checked-in record was measured with
+    rounds = args.rounds or 3
     if args.trace:
         telemetry.enable()
+    # the reference value must be read before write_bench_record replaces it
+    reference = recorded_speedup()
     speedup, results = run(args.batch, args.workers, rounds)
     if args.trace:
         print()
@@ -214,6 +275,18 @@ def main(argv=None):
                   "rounds": rounds, "smoke": args.smoke, "trace": args.trace}
         print("wrote %s"
               % write_bench_record("verify_throughput", config, results))
+    if args.no_regress:
+        if reference is None:
+            print("no checked-in record to gate against; skipping --no-regress")
+        else:
+            floor = NO_REGRESS_FLOOR * reference
+            if speedup < floor:
+                print("REGRESSION: batched_vs_prepared %.3f < %.3f "
+                      "(%.2f x recorded %.3f)"
+                      % (speedup, floor, NO_REGRESS_FLOOR, reference))
+                raise SystemExit(1)
+            print("no-regress gate: %.3f >= %.3f (%.2f x recorded %.3f)"
+                  % (speedup, floor, NO_REGRESS_FLOOR, reference))
     if args.batch >= 16 and speedup < 2.0:
         raise SystemExit(
             "batched verification below the 2x target: %.2fx" % speedup

@@ -24,14 +24,72 @@ exactly 12 modular reductions and zero intermediate object allocations —
 the Miller loop in :mod:`repro.pairing.ate` runs entirely on these paths.
 Canonical reduction at construction keeps results bit-identical to the
 eagerly-reduced forms.
+
+The boundary reduction itself is pluggable: ``_WIDE`` is the calibrated
+wide reducer for this modulus (``repro.field.montgomery.wide_reducer`` —
+native ``%`` or Barrett, whichever the startup micro-calibration picked;
+both produce identical canonical values).  Tower elements always *store*
+canonical ints — coefficients cross equality checks, hashes, and the wire
+layer, so Montgomery form never leaks out of the int-tuple kernels in
+``ec``/``engine``.  ``set_wide_reducer`` swaps the reducer (tests force
+Barrett to prove the parity claim).
 """
 
 from ..errors import FieldError
+from .montgomery import wide_reducer as _wide_reducer
 
 #: BN254 (a.k.a. alt_bn128) base-field prime.
 BN254_P = 21888242871839275222246405745257275088696311157297823662689037894645226208583
 
 _P = BN254_P
+
+#: calibrated boundary reducer: any int -> canonical form in [0, p)
+_WIDE = _wide_reducer(_P)
+
+
+def set_wide_reducer(fn=None):
+    """Install a boundary reducer for the tower; returns the previous one.
+
+    ``None`` restores the calibrated default.  The reducer must map any
+    integer (negative or a few bits past ``2 p^2``) to ``[0, p)``; all
+    valid reducers produce identical elements, so this only varies speed.
+    """
+    global _WIDE
+    previous = _WIDE
+    _WIDE = _wide_reducer(_P) if fn is None else fn
+    return previous
+
+
+# -- unchecked constructors ---------------------------------------------------
+#
+# The hot paths (twist line values, raw-tuple boundary reduction) build
+# elements whose coefficients are already canonical; these skip the
+# constructor's redundant `% p` per limb.
+
+
+def fq2_raw(c0, c1):
+    """Fq2 from ALREADY-CANONICAL coefficients (no reduction performed)."""
+    e = Fq2.__new__(Fq2)
+    e.c0 = c0
+    e.c1 = c1
+    return e
+
+
+def fq6_raw(c0, c1, c2):
+    """Fq6 from three Fq2 coefficients (no validation)."""
+    e = Fq6.__new__(Fq6)
+    e.c0 = c0
+    e.c1 = c1
+    e.c2 = c2
+    return e
+
+
+def fq12_raw(c0, c1):
+    """Fq12 from two Fq6 coefficients (no validation)."""
+    e = Fq12.__new__(Fq12)
+    e.c0 = c0
+    e.c1 = c1
+    return e
 
 
 # -- lazy-reduction kernels (raw int tuples, `% p` deferred to construction) --
@@ -130,31 +188,45 @@ class Fq2:
         return Fq2(-self.c0, -self.c1)
 
     def __mul__(self, other):
+        rw = _WIDE
         if isinstance(other, int):
-            return Fq2(self.c0 * other, self.c1 * other)
+            e = Fq2.__new__(Fq2)
+            e.c0 = rw(self.c0 * other)
+            e.c1 = rw(self.c1 * other)
+            return e
         # Karatsuba: (a0 + a1 u)(b0 + b1 u) with u^2 = -1
         t0 = self.c0 * other.c0
         t1 = self.c1 * other.c1
         t2 = (self.c0 + self.c1) * (other.c0 + other.c1)
-        return Fq2(t0 - t1, t2 - t0 - t1)
+        e = Fq2.__new__(Fq2)
+        e.c0 = rw(t0 - t1)
+        e.c1 = rw(t2 - t0 - t1)
+        return e
 
     __rmul__ = __mul__
 
     def square(self):
         # (a0 + a1 u)^2 = (a0+a1)(a0-a1) + 2 a0 a1 u
+        rw = _WIDE
         t = self.c0 * self.c1
-        return Fq2((self.c0 + self.c1) * (self.c0 - self.c1), t + t)
+        e = Fq2.__new__(Fq2)
+        e.c0 = rw((self.c0 + self.c1) * (self.c0 - self.c1))
+        e.c1 = rw(t + t)
+        return e
 
     def conjugate(self):
         return Fq2(self.c0, -self.c1)
 
     def inverse(self):
         # 1/(a0 + a1 u) = (a0 - a1 u) / (a0^2 + a1^2)
-        norm = (self.c0 * self.c0 + self.c1 * self.c1) % _P
+        norm = _WIDE(self.c0 * self.c0 + self.c1 * self.c1)
         if norm == 0:
             raise FieldError("inverse of zero in Fq2")
         inv = pow(norm, -1, _P)
-        return Fq2(self.c0 * inv, -self.c1 * inv)
+        e = Fq2.__new__(Fq2)
+        e.c0 = _WIDE(self.c0 * inv)
+        e.c1 = _WIDE(-self.c1 * inv)
+        return e
 
     def mul_by_xi(self):
         """Multiply by the Fq6 non-residue xi = 9 + u."""
@@ -238,9 +310,17 @@ class Fq6:
 
     @staticmethod
     def _from_raw(raw):
-        """Reduce a raw 6-tuple into a canonical element (6 mods total)."""
-        return Fq6(
-            Fq2(raw[0], raw[1]), Fq2(raw[2], raw[3]), Fq2(raw[4], raw[5])
+        """Reduce a raw 6-tuple into a canonical element.
+
+        Exactly one boundary reduction per limb through the calibrated
+        wide reducer, with unchecked construction (the constructor's own
+        ``% p`` would be a redundant second reduction).
+        """
+        rw = _WIDE
+        return fq6_raw(
+            fq2_raw(rw(raw[0]), rw(raw[1])),
+            fq2_raw(rw(raw[2]), rw(raw[3])),
+            fq2_raw(rw(raw[4]), rw(raw[5])),
         )
 
     def __mul__(self, other):

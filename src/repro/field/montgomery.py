@@ -1,0 +1,391 @@
+"""Montgomery and Barrett reduction contexts plus per-modulus calibration.
+
+CPython's bignum ``%`` is a tuned C divider, so neither REDC nor Barrett
+is guaranteed to beat it — on many hosts native ``%`` wins at every
+modulus size this repo uses.  This module therefore mirrors the engine's
+"never regress below serial" dispatch rule: each modulus gets a tiny
+startup micro-calibration (through the telemetry ``perf`` clock, so fake
+clocks degrade to the native path deterministically) and the challenger
+representation is selected only when it is *meaningfully* faster than
+native ``%``.  Two independent axes are calibrated:
+
+* ``mul_kind`` — how kernels multiply: ``"native"`` (``a * b % p``) or
+  ``"montgomery"`` (operands kept in Montgomery form, products reduced by
+  REDC's multiply-mask-shift).  Consumed by the Jacobian point kernels,
+  the MSM bucket reducer, and the FFT butterflies.
+* ``wide_kind`` — how lazily-accumulated wide values (a few bits past
+  ``2 p^2``) are brought back to canonical form at a domain boundary:
+  ``"native"`` (``t % p``) or ``"barrett"`` (multiply-shift by a
+  precomputed ``mu = 2^shift // p``).  Consumed by the Fq2/Fq6/Fq12
+  tower's boundary reduction.
+
+Whatever the calibration picks, every representation computes the exact
+same residues: Montgomery form is a bijection ``x -> x * R mod p`` and
+all kernels convert at entry/exit, so results are bit-identical across
+backends (the parity suite in ``tests/test_montgomery.py`` pins this).
+
+``REPRO_FIELD_BACKEND`` overrides the calibration for every modulus
+(``native`` / ``montgomery`` / ``barrett`` / ``auto``); the
+:func:`force_backend` context manager overrides one modulus locally for
+tests.
+"""
+
+import os
+
+from ..errors import FieldError
+from ..telemetry import metrics as _metrics
+from ..telemetry.clocks import perf as _perf
+
+#: Montgomery multiplications performed through context methods; kernels
+#: that inline REDC bulk-add their counts at kernel granularity.
+MONT_MULS = _metrics.counter("field.mont_muls")
+#: REDC invocations (every mont_mul/sqr plus entry/exit conversions).
+REDC_CALLS = _metrics.counter("field.redc_calls")
+
+#: Environment override for every modulus: native|montgomery|barrett|auto.
+BACKEND_ENV = "REPRO_FIELD_BACKEND"
+
+#: Extra bits in R = 2^k beyond the modulus width.  The slack keeps REDC
+#: valid (|T| < R*p) for products of values a few bits past p, and sizes
+#: the Barrett shift so lazily-accumulated tower sums (bounded by a small
+#: multiple of p^2) still reduce with at most a couple of subtractions.
+SLACK_BITS = 16
+
+#: Challenger must win by >= 5%: kind_t * 20 < native_t * 19.  Integer
+#: coefficients keep this module float-free (field/ bans float literals)
+#: and make ties — e.g. a FakeClock returning constant time — resolve to
+#: native, the never-regress default.
+_WIN_NUM, _WIN_DEN = 20, 19
+
+
+class MontgomeryContext:
+    """REDC constants and operations for one odd modulus.
+
+    ``R = 2^k`` with ``k = p.bit_length() + SLACK_BITS``; Montgomery form
+    of ``x`` is ``x * R mod p``.  ``redc(T)`` computes ``T * R^-1 mod p``
+    for any ``|T| < R * p`` via one multiply, one mask, one shift — no
+    division.  The signed tolerance matters: lazy kernels feed REDC
+    differences that may be negative.
+    """
+
+    __slots__ = ("p", "k", "r", "mask", "n_prime", "r1", "r2", "r3")
+
+    def __init__(self, p):
+        if p < 3 or p % 2 == 0:
+            raise FieldError("Montgomery form needs an odd modulus >= 3")
+        self.p = p
+        self.k = p.bit_length() + SLACK_BITS
+        self.r = 1 << self.k
+        self.mask = self.r - 1
+        # n' = -p^-1 mod R, the REDC folding constant
+        self.n_prime = (-pow(p, -1, self.r)) % self.r
+        self.r1 = self.r % p          # Montgomery form of 1
+        self.r2 = self.r1 * self.r % p  # to_mont multiplier: x * R^2 -> xR
+        self.r3 = self.r2 * self.r % p  # inversion helper (see mont_inv)
+
+    def __repr__(self):
+        return "MontgomeryContext(bits=%d, k=%d)" % (self.p.bit_length(), self.k)
+
+    def redc(self, t):
+        """``t * R^-1 mod p`` in ``[0, p)`` for any ``|t| < R * p``."""
+        REDC_CALLS.inc()
+        u = (t + ((t * self.n_prime) & self.mask) * self.p) >> self.k
+        if u >= self.p:
+            return u - self.p
+        if u < 0:
+            return u + self.p
+        return u
+
+    def to_mont(self, x):
+        """Canonical int -> Montgomery form (one REDC against R^2)."""
+        return self.redc((x % self.p) * self.r2)
+
+    def from_mont(self, xm):
+        """Montgomery form -> canonical int (one REDC)."""
+        return self.redc(xm)
+
+    def one(self):
+        """Montgomery form of 1 (``R mod p``)."""
+        return self.r1
+
+    def mont_mul(self, am, bm):
+        """Product in Montgomery form: ``redc(aR * bR) = (a*b)R``."""
+        MONT_MULS.inc()
+        t = am * bm
+        u = (t + ((t * self.n_prime) & self.mask) * self.p) >> self.k
+        return u - self.p if u >= self.p else u
+
+    def mont_sqr(self, am):
+        """Square in Montgomery form."""
+        MONT_MULS.inc()
+        t = am * am
+        u = (t + ((t * self.n_prime) & self.mask) * self.p) >> self.k
+        return u - self.p if u >= self.p else u
+
+    def mont_inv(self, am):
+        """Inverse in Montgomery form: ``(aR) -> (a^-1)R``.
+
+        ``pow(aR, -1, p) = a^-1 R^-1``; multiplying by ``R^3`` under one
+        REDC restores the Montgomery factor: ``a^-1 R^-1 * R^3 * R^-1 =
+        a^-1 R``.  Raises FieldError on zero.
+        """
+        if am == 0:
+            raise FieldError("inverse of zero")
+        try:
+            inv = pow(am, -1, self.p)
+        except ValueError:
+            raise FieldError("inverse of zero")
+        return self.redc(inv * self.r3)
+
+    def mont_batch_inverse(self, xms):
+        """Montgomery's trick entirely in Montgomery form.
+
+        3n mont_muls + one inversion; raises FieldError naming the index
+        of any zero element, matching ``PrimeField.batch_inverse``.
+        """
+        n = len(xms)
+        if n == 0:
+            return []
+        prefix = [0] * n
+        acc = self.r1
+        for i, xm in enumerate(xms):
+            if xm == 0:
+                raise FieldError("batch_inverse: zero element at index %d" % i)
+            prefix[i] = acc
+            acc = self.mont_mul(acc, xm)
+        inv_acc = self.mont_inv(acc)
+        out = [0] * n
+        for i in range(n - 1, -1, -1):
+            out[i] = self.mont_mul(prefix[i], inv_acc)
+            inv_acc = self.mont_mul(inv_acc, xms[i])
+        return out
+
+
+class BarrettContext:
+    """Barrett reduction for one modulus: division by multiply-and-shift.
+
+    ``mu = 2^shift // p`` with ``shift = 2 * p.bit_length() + SLACK_BITS``
+    sized for the tower's lazily-accumulated operands (a small multiple of
+    ``p^2``): the quotient estimate ``(t * mu) >> shift`` is then at most
+    a few short of the true quotient, fixed by the subtraction loop.
+    """
+
+    __slots__ = ("p", "shift", "mu")
+
+    def __init__(self, p):
+        if p < 2:
+            raise FieldError("modulus must be >= 2")
+        self.p = p
+        self.shift = 2 * p.bit_length() + SLACK_BITS
+        self.mu = (1 << self.shift) // p
+
+    def __repr__(self):
+        return "BarrettContext(bits=%d)" % self.p.bit_length()
+
+    def reduce(self, t):
+        """``t mod p`` in ``[0, p)`` for ``|t| < 2^shift``."""
+        p = self.p
+        if t < 0:
+            r = -t
+            r -= ((r * self.mu) >> self.shift) * p
+            while r >= p:
+                r -= p
+            return p - r if r else 0
+        t -= ((t * self.mu) >> self.shift) * p
+        while t >= p:
+            t -= p
+        return t
+
+    def mul(self, a, b):
+        """``a * b mod p`` via one Barrett reduction."""
+        return self.reduce(a * b)
+
+
+class FieldBackend:
+    """The calibrated representation choices for one modulus."""
+
+    __slots__ = ("p", "mul_kind", "wide_kind", "_mont", "_barrett")
+
+    def __init__(self, p, mul_kind, wide_kind):
+        self.p = p
+        self.mul_kind = mul_kind
+        self.wide_kind = wide_kind
+        self._mont = None
+        self._barrett = None
+
+    def __repr__(self):
+        return "FieldBackend(bits=%d, mul=%s, wide=%s)" % (
+            self.p.bit_length(), self.mul_kind, self.wide_kind)
+
+    @property
+    def mont(self):
+        if self._mont is None:
+            self._mont = MontgomeryContext(self.p)
+        return self._mont
+
+    @property
+    def barrett(self):
+        if self._barrett is None:
+            self._barrett = BarrettContext(self.p)
+        return self._barrett
+
+    def wide_reducer(self):
+        """The boundary reducer: a callable mapping any int to ``[0, p)``.
+
+        The native variant is the C-level bound method ``p.__rmod__``
+        (``p.__rmod__(t) == t % p``) — no Python-frame overhead on the
+        hot path.
+        """
+        if self.wide_kind == "barrett":
+            return self.barrett.reduce
+        return self.p.__rmod__
+
+
+def _sample_operands(p, n):
+    """Deterministic pseudo-random operands in ``[1, p)`` for calibration.
+
+    A fixed-constant LCG keeps this module free of ``random``/``secrets``
+    (timing samples need spread bits, not unpredictability) and makes the
+    calibration workload identical across runs.
+    """
+    mask = (1 << (p.bit_length() + 8)) - 1
+    x = 0x9E3779B97F4A7C15A5A5A5A5DEADBEEF
+    out = []
+    while len(out) < n:
+        x = (x * 6364136223846793005 + 1442695040888963407) & mask
+        v = x % p
+        if v:
+            out.append(v)
+    return out
+
+
+def _best_of(fn, rounds=3):
+    """Minimum wall time of ``fn()`` over ``rounds`` runs (telemetry clock)."""
+    best = None
+    for _ in range(rounds):
+        t0 = _perf()
+        fn()
+        dt = _perf() - t0
+        if best is None or dt < best:
+            best = dt
+    return best
+
+
+def _calibrate(p):
+    """Race native ``%`` against REDC and Barrett on this modulus.
+
+    Returns ``(mul_kind, wide_kind)``.  The challenger must beat native
+    by the ``_WIN_NUM/_WIN_DEN`` margin at its own game: products of two
+    field elements for ``mul_kind``, reduction of ~``2 p^2``-wide values
+    for ``wide_kind``.  Zero-width timings (fake clocks) therefore keep
+    native on both axes.
+    """
+    xs = _sample_operands(p, 32)
+    ys = xs[1:] + xs[:1]
+
+    def native_mul():
+        for a, b in zip(xs, ys):
+            _ = a * b % p
+
+    mul_kind = "native"
+    if p >= 3 and p % 2:
+        ctx = MontgomeryContext(p)
+        n_prime, mask, k = ctx.n_prime, ctx.mask, ctx.k
+
+        def mont_mul():
+            for a, b in zip(xs, ys):
+                t = a * b
+                u = (t + ((t * n_prime) & mask) * p) >> k
+                if u >= p:
+                    u -= p
+
+        native_t = _best_of(native_mul)
+        mont_t = _best_of(mont_mul)
+        if mont_t * _WIN_NUM < native_t * _WIN_DEN:
+            mul_kind = "montgomery"
+
+    wides = [a * b * 3 for a, b in zip(xs, ys)]
+
+    def native_wide():
+        for t in wides:
+            _ = t % p
+
+    bar = BarrettContext(p)
+
+    def barrett_wide():
+        for t in wides:
+            bar.reduce(t)
+
+    wide_kind = "native"
+    native_wt = _best_of(native_wide)
+    barrett_wt = _best_of(barrett_wide)
+    if barrett_wt * _WIN_NUM < native_wt * _WIN_DEN:
+        wide_kind = "barrett"
+    return mul_kind, wide_kind
+
+
+_backends = {}
+
+
+def backend_for(p):
+    """The (memoized) calibrated :class:`FieldBackend` for modulus ``p``.
+
+    ``REPRO_FIELD_BACKEND`` forces one kind for every modulus; with
+    ``auto`` (or unset) each modulus is micro-calibrated once per
+    process.  Calibration affects speed only — all backends produce
+    identical residues — so processes in one worker pool may legitimately
+    calibrate differently.
+    """
+    backend = _backends.get(p)
+    if backend is not None:
+        return backend
+    forced = os.environ.get(BACKEND_ENV, "auto").strip().lower()
+    if forced in ("mont", "montgomery") and p >= 3 and p % 2:
+        backend = FieldBackend(p, "montgomery", "native")
+    elif forced == "barrett":
+        backend = FieldBackend(p, "native", "barrett")
+    elif forced == "native":
+        backend = FieldBackend(p, "native", "native")
+    else:
+        mul_kind, wide_kind = _calibrate(p)
+        backend = FieldBackend(p, mul_kind, wide_kind)
+    _backends[p] = backend
+    return backend
+
+
+def wide_reducer(p):
+    """The calibrated boundary reducer for ``p`` (see ``FieldBackend``)."""
+    return backend_for(p).wide_reducer()
+
+
+class force_backend:
+    """Context manager pinning the backend kinds for one modulus (tests).
+
+    Within the block, ``backend_for(p)`` returns a backend with the given
+    kinds; the previous (calibrated or absent) entry is restored on exit.
+    Existing objects that captured the old backend at construction are
+    unaffected — rebuild them inside the block.
+    """
+
+    def __init__(self, p, mul_kind="native", wide_kind="native"):
+        if mul_kind not in ("native", "montgomery"):
+            raise ValueError("mul_kind must be native|montgomery")
+        if wide_kind not in ("native", "barrett"):
+            raise ValueError("wide_kind must be native|barrett")
+        self.p = p
+        self.backend = FieldBackend(p, mul_kind, wide_kind)
+        self._saved = None
+        self._had = False
+
+    def __enter__(self):
+        self._had = self.p in _backends
+        self._saved = _backends.get(self.p)
+        _backends[self.p] = self.backend
+        return self.backend
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._had:
+            _backends[self.p] = self._saved
+        else:
+            _backends.pop(self.p, None)
+        return False

@@ -37,6 +37,7 @@ class PrimeField:
         self._ts_q = q
         self._ts_s = s
         self._nonresidue = None
+        self._mont = None
 
     def __repr__(self):
         return "PrimeField(0x%x)" % self.p
@@ -66,17 +67,54 @@ class PrimeField:
         return (-a) % self.p
 
     def inv(self, a):
-        """Multiplicative inverse; raises FieldError on zero."""
-        a %= self.p
-        if a == 0:
+        """Multiplicative inverse in canonical form; FieldError on zero.
+
+        ``pow(a, -1, p)`` reduces internally and returns a value in
+        ``[0, p)``, so no pre- or post-reduction is needed here — callers
+        may rely on the result being canonical.
+        """
+        try:
+            return pow(a, -1, self.p)
+        except ValueError:
             raise FieldError("inverse of zero")
-        return pow(a, -1, self.p)
 
     def div(self, a, b):
-        return (a * self.inv(b)) % self.p
+        # inv() is canonical, so one reduction of the product suffices
+        return a * self.inv(b) % self.p
 
     def pow(self, a, e):
-        return pow(a, e, self.p)
+        # reduce the base once: pow() over a 254-bit base is measurably
+        # faster than over an arbitrarily wide one, and e < 0 requires a
+        # reduced base to mean (a mod p)^e
+        return pow(a % self.p, e, self.p)
+
+    # -- representation backends ---------------------------------------------
+
+    @property
+    def backend(self):
+        """The calibrated :class:`~repro.field.montgomery.FieldBackend`.
+
+        Resolved lazily (the first access may run the per-modulus
+        micro-calibration) and honors ``force_backend`` /
+        ``REPRO_FIELD_BACKEND`` at resolution time.
+        """
+        from .montgomery import backend_for
+
+        return backend_for(self.p)
+
+    @property
+    def mont(self):
+        """A :class:`~repro.field.montgomery.MontgomeryContext` for ``p``.
+
+        Always constructible for odd ``p`` regardless of what the
+        calibration picked — parity tests and forced-Montgomery kernels
+        use it directly.
+        """
+        if self._mont is None:
+            from .montgomery import MontgomeryContext
+
+            self._mont = MontgomeryContext(self.p)
+        return self._mont
 
     def rand(self):
         """Uniform random element of the field."""

@@ -28,10 +28,19 @@ Repo rules enforced (each a check name, keyed per file + enclosing scope):
   ``*.inv(...)``) lexically inside a ``for``/``while`` body.  One
   inversion costs hundreds of multiplications; a loop of them almost
   always wants Montgomery batch inversion
-  (``PrimeField.batch_inverse``: ``3n`` multiplications + one inverse
-  for the whole batch, as the MSM's batched-affine bucket accumulation
-  does).  Severity: warning — loops whose trip count is provably tiny
-  can stay in the baseline.
+  (``PrimeField.batch_inverse`` / ``MontgomeryContext.
+  mont_batch_inverse``: ``3n`` multiplications + one inverse for the
+  whole batch, as the MSM's batched-affine bucket accumulation does).
+  Severity: error — loops whose trip count is provably tiny carry a
+  baseline justification.
+* ``raw-mod-in-hot-loop`` — a raw ``% p`` (or ``% _P``) reduction
+  lexically inside a loop in the kernel layers (``engine/``,
+  ``pairing/``, ``ec/``), where a Montgomery context is available:
+  products in hot loops should reduce by REDC through the calibrated
+  backend (or hoist the reduction to the kernel boundary) rather than
+  pay a division per iteration.  Severity: warning — additive
+  normalizations and calibrated-native paths stay in the baseline with
+  a justification.
 * ``wire-bypass``      — importing or calling the raw proof wire
   primitives (``proof_to_bytes``, ``encode_proof_sans``,
   ``decode_payload_chars``, the ``g1``/``g2`` point codecs, ...) outside
@@ -59,6 +68,13 @@ CRYPTO_PATHS = ("sig/", "groth16/", "ca/", "field/", "ec/", "pairing/", "engine/
 
 #: exact-arithmetic layers where floats are banned outright
 FLOAT_PATHS = ("field/", "ec/", "pairing/")
+
+#: kernel layers where a Montgomery context is available and a raw `% p`
+#: inside a loop is a hot-path smell (see ``raw-mod-in-hot-loop``)
+HOT_MOD_PATHS = ("engine/", "pairing/", "ec/")
+
+#: right-operand names that denote the field modulus in this codebase
+_MODULUS_NAMES = {"p", "_P"}
 
 #: identifier tokens that mark an authenticator-ish value
 _DIGEST_TOKENS = {"digest", "hmac", "mac", "fingerprint"}
@@ -155,6 +171,7 @@ class _Scope(ast.NodeVisitor):
         self.loop_depth = 0
         self.in_crypto = relpath.startswith(CRYPTO_PATHS)
         self.in_float_ban = relpath.startswith(FLOAT_PATHS)
+        self.in_hot_mod = relpath.startswith(HOT_MOD_PATHS)
         self.clock_exempt = relpath.startswith(_CLOCK_EXEMPT_PATHS)
         self.wire_exempt = relpath.startswith(_WIRE_ALLOWED_PATHS)
 
@@ -313,7 +330,28 @@ class _Scope(ast.NodeVisitor):
                 "true division `/` in an exact-arithmetic layer; use `//` "
                 "or a modular inverse",
             )
+        if (
+            self.in_hot_mod
+            and self.loop_depth > 0
+            and isinstance(node.op, ast.Mod)
+            and self._names_modulus(node.right)
+        ):
+            self.add(
+                "raw-mod-in-hot-loop", "warning", node,
+                "raw `% p` inside a kernel-layer loop; reduce via the "
+                "calibrated field backend (REDC/Barrett) or hoist the "
+                "reduction to the kernel boundary",
+            )
         self.generic_visit(node)
+
+    @staticmethod
+    def _names_modulus(node):
+        """Whether an expression syntactically names the field modulus."""
+        if isinstance(node, ast.Name):
+            return node.id in _MODULUS_NAMES
+        if isinstance(node, ast.Attribute):
+            return node.attr == "p"
+        return False
 
     def visit_Call(self, node):
         if (
@@ -345,7 +383,7 @@ class _Scope(ast.NodeVisitor):
             callee = node.func.attr
         if callee == "inv" and self.loop_depth > 0:
             self.add(
-                "inv-in-loop", "warning", node,
+                "inv-in-loop", "error", node,
                 "modular inverse inside a loop; hoist into one "
                 "PrimeField.batch_inverse call (3n mults + 1 inversion) "
                 "unless the trip count is provably tiny",

@@ -24,7 +24,15 @@ accepts a :class:`G2Prepared` wherever it accepts a ``G2Point``.
 """
 
 from ..errors import CurveError
-from ..field.extension import BN254_P, Fq2, Fq6, Fq12
+from ..field.extension import (
+    BN254_P,
+    Fq2,
+    Fq6,
+    Fq12,
+    fq2_raw,
+    fq6_raw,
+    fq12_raw,
+)
 from ..telemetry.trace import span as _span
 from .bn254 import (
     ATE_LOOP_COUNT,
@@ -181,16 +189,22 @@ def _twist_line_value(coeffs, t):
 
     Assembling the sparse element by slot placement replaces the full Fq12
     untwist multiplications and the ``a * xt`` product with two Fq2-by-int
-    scalar products.
+    scalar products.  The G1 coordinates and the stored Fq2 coefficients
+    are already canonical, so the sparse slots build through the unchecked
+    ``fq*_raw`` constructors — the only boundary reduction paid here is
+    inside ``lam * xt``.
     """
     lam, b = coeffs
     xt, yt = t
     if lam is None:
         # vertical: x - x1 on the twist; -x1 rides the w^2 slot
-        return Fq12(Fq6(Fq2(xt, 0), b, Fq2.zero()), Fq6.zero())
-    return Fq12(
-        Fq6(Fq2(-yt, 0), Fq2.zero(), Fq2.zero()),
-        Fq6(lam * xt, b, Fq2.zero()),
+        return fq12_raw(
+            fq6_raw(fq2_raw(xt, 0), b, fq2_raw(0, 0)),
+            fq6_raw(fq2_raw(0, 0), fq2_raw(0, 0), fq2_raw(0, 0)),
+        )
+    return fq12_raw(
+        fq6_raw(fq2_raw(BN254_P - yt if yt else 0, 0), fq2_raw(0, 0), fq2_raw(0, 0)),
+        fq6_raw(lam * xt, b, fq2_raw(0, 0)),
     )
 
 

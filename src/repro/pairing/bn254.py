@@ -7,7 +7,16 @@ the untwist embedding ``(x, y) -> (x * w^2, y * w^3)``.
 """
 
 from ..errors import CurveError
-from ..field.extension import BN254_P, Fq2, Fq6, Fq12, XI
+from ..field.extension import (
+    BN254_P,
+    Fq2,
+    Fq6,
+    Fq12,
+    XI,
+    fq2_raw,
+    fq6_raw,
+    fq12_raw,
+)
 
 #: Order of G1 and G2 (the Groth16 scalar field).
 BN254_R = 21888242871839275222246405745257275088548364400416034343698204186575808495617
@@ -126,11 +135,16 @@ _W3 = Fq12(Fq6.zero(), Fq6(Fq2.zero(), Fq2.one(), Fq2.zero()))  # w^3 = v*w
 
 
 def _embed_fq2(x):
-    return Fq12(Fq6(x, Fq2.zero(), Fq2.zero()), Fq6.zero())
+    # x is a canonical Fq2 (point coordinate or tower constant): build the
+    # sparse embedding without re-reducing any limb
+    return fq12_raw(
+        fq6_raw(x, fq2_raw(0, 0), fq2_raw(0, 0)),
+        fq6_raw(fq2_raw(0, 0), fq2_raw(0, 0), fq2_raw(0, 0)),
+    )
 
 
 def embed_fq(x):
-    """Embed a base-field int into Fq12."""
+    """Embed a base-field int into Fq12 (``x`` reduced once here)."""
     return _embed_fq2(Fq2(x, 0))
 
 

@@ -232,7 +232,7 @@ class TestHygiene:
             "    return y\n"
         )
         (f,) = lint_source(src, "gadgets/demo.py")
-        assert (f.check, f.severity) == ("inv-in-loop", "warning")
+        assert (f.check, f.severity) == ("inv-in-loop", "error")
         assert "batch_inverse" in f.message
 
     def test_inv_in_comprehension_flagged(self):
@@ -243,6 +243,50 @@ class TestHygiene:
     def test_inv_outside_loop_not_flagged(self):
         src = "def f(field, x):\n    return field.inv(x)\n"
         assert lint_source(src, "gadgets/demo.py") == []
+
+    def test_raw_mod_in_hot_loop_flagged(self):
+        src = (
+            "def f(xs, p):\n"
+            "    acc = 1\n"
+            "    for x in xs:\n"
+            "        acc = acc * x % p\n"
+            "    return acc\n"
+        )
+        for relpath in ("engine/demo.py", "pairing/demo.py", "ec/demo.py"):
+            (f,) = lint_source(src, relpath)
+            assert (f.check, f.severity) == ("raw-mod-in-hot-loop", "warning")
+            assert "backend" in f.message
+
+    def test_raw_mod_attribute_modulus_flagged(self):
+        src = (
+            "def f(self, xs):\n"
+            "    for x in xs:\n"
+            "        x = x * x % self.p\n"
+            "    return x\n"
+        )
+        (f,) = lint_source(src, "engine/demo.py")
+        assert f.check == "raw-mod-in-hot-loop"
+
+    def test_raw_mod_not_flagged_outside_hot_modules(self):
+        src = (
+            "def f(xs, p):\n"
+            "    for x in xs:\n"
+            "        x = x * x % p\n"
+            "    return x\n"
+        )
+        assert lint_source(src, "gadgets/demo.py") == []
+        assert lint_source(src, "analysis/demo.py") == []
+
+    def test_raw_mod_not_flagged_outside_loops_or_for_other_names(self):
+        outside = "def f(x, p):\n    return x * x % p\n"
+        assert lint_source(outside, "engine/demo.py") == []
+        other = (
+            "def f(xs, radix):\n"
+            "    for x in xs:\n"
+            "        x = x % radix\n"
+            "    return x\n"
+        )
+        assert lint_source(other, "engine/demo.py") == []
 
     def test_wire_bypass_import_flagged(self):
         src = "from repro.x509.san import decode_proof_sans\n"

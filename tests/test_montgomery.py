@@ -1,0 +1,522 @@
+"""Montgomery/Barrett backend: contexts, calibration, and the parity suite.
+
+The representation contract is bit-identity: whatever backend calibration
+(or a forced override) selects, every kernel must produce exactly the
+integers the canonical ``%``-based path produces — same Jacobian tuples,
+same FFT outputs, same proof bytes.  These tests pin that contract at
+every level: raw REDC/Barrett ops, the Jacobian point kernels, the MSM
+bucket reducer, the NTT butterflies, and an end-to-end Groth16 prove.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.ec.curve import (
+    JAC_INFINITY,
+    jac_add,
+    jac_add_affine,
+    jac_add_affine_mont,
+    jac_add_mont,
+    jac_double,
+    jac_double_mont,
+    jac_from_mont,
+    jac_to_affine,
+    jac_to_mont,
+)
+from repro.ec.curves import BN254_G1, BN254_R
+from repro.engine.fft import cached_coset_fft, cached_fft, cached_ifft, domain_root
+from repro.engine.group import JacobianGroup
+from repro.engine.msm import msm_generic, msm_reference
+from repro.errors import FieldError
+from repro.field import (
+    BarrettContext,
+    FieldBackend,
+    MontgomeryContext,
+    PrimeField,
+    backend_for,
+    force_backend,
+    wide_reducer,
+)
+from repro.field.montgomery import _backends
+
+P = BN254_G1.field.p
+CTX = MontgomeryContext(P)
+RNG = random.Random(0xA1B2)
+
+
+def rand_elems(n, p=P):
+    return [RNG.randrange(1, p) for _ in range(n)]
+
+
+class TestMontgomeryContext:
+    def test_constants(self):
+        assert CTX.k == P.bit_length() + 16
+        assert CTX.r == 1 << CTX.k
+        assert CTX.r1 == CTX.r % P
+        assert CTX.r2 == CTX.r1 * CTX.r1 % P
+        # n' * p = -1 mod R
+        assert (CTX.n_prime * P + 1) % CTX.r == 0
+
+    def test_even_modulus_raises(self):
+        with pytest.raises(FieldError):
+            MontgomeryContext(16)
+        with pytest.raises(FieldError):
+            MontgomeryContext(1)
+
+    def test_round_trip(self):
+        for x in rand_elems(50) + [0, 1, P - 1]:
+            assert CTX.from_mont(CTX.to_mont(x)) == x
+
+    def test_to_mont_reduces_wide_input(self):
+        assert CTX.to_mont(P + 5) == CTX.to_mont(5)
+        assert CTX.from_mont(CTX.to_mont(3 * P + 2)) == 2
+
+    def test_one(self):
+        assert CTX.one() == CTX.to_mont(1)
+        assert CTX.from_mont(CTX.one()) == 1
+
+    def test_mont_mul_matches_native(self):
+        for a, b in zip(rand_elems(60), rand_elems(60)):
+            am, bm = CTX.to_mont(a), CTX.to_mont(b)
+            got = CTX.from_mont(CTX.mont_mul(am, bm))
+            assert got == a * b % P
+
+    def test_mont_sqr_matches_native(self):
+        for a in rand_elems(40):
+            am = CTX.to_mont(a)
+            assert CTX.from_mont(CTX.mont_sqr(am)) == a * a % P
+
+    def test_mont_mul_output_canonical(self):
+        for a, b in zip(rand_elems(30), rand_elems(30)):
+            u = CTX.mont_mul(CTX.to_mont(a), CTX.to_mont(b))
+            assert 0 <= u < P
+
+    def test_redc_signed(self):
+        # kernels feed REDC differences that may be negative
+        for a, b in zip(rand_elems(30), rand_elems(30)):
+            am, bm = CTX.to_mont(a), CTX.to_mont(b)
+            pos = CTX.redc(am * bm)
+            neg = CTX.redc(-(am * bm))
+            assert neg == (P - pos) % P
+
+    def test_redc_is_rinv_mul(self):
+        r_inv = pow(CTX.r, -1, P)
+        for t in rand_elems(20):
+            assert CTX.redc(t) == t * r_inv % P
+
+    def test_small_modulus_exhaustive(self):
+        ctx = MontgomeryContext(29)
+        for a in range(29):
+            for b in range(29):
+                am, bm = ctx.to_mont(a), ctx.to_mont(b)
+                assert ctx.from_mont(ctx.mont_mul(am, bm)) == a * b % 29
+
+
+class TestMontInverse:
+    def test_mont_inv(self):
+        for a in rand_elems(25):
+            am = CTX.to_mont(a)
+            inv_m = CTX.mont_inv(am)
+            assert CTX.mont_mul(am, inv_m) == CTX.one()
+            assert CTX.from_mont(inv_m) == pow(a, -1, P)
+
+    def test_mont_inv_zero_raises(self):
+        with pytest.raises(FieldError):
+            CTX.mont_inv(0)
+
+    def test_batch_inverse_matches_prime_field(self):
+        field = PrimeField(P)
+        xs = rand_elems(17)
+        xms = [CTX.to_mont(x) for x in xs]
+        got = [CTX.from_mont(v) for v in CTX.mont_batch_inverse(xms)]
+        assert got == field.batch_inverse(xs)
+
+    def test_batch_inverse_zero_index(self):
+        xms = [CTX.to_mont(x) for x in (3, 5)]
+        with pytest.raises(FieldError, match="index 1"):
+            CTX.mont_batch_inverse([xms[0], 0, xms[1]])
+
+    def test_batch_inverse_empty(self):
+        assert CTX.mont_batch_inverse([]) == []
+
+
+class TestBarrett:
+    BAR = BarrettContext(P)
+
+    def test_reduce_matches_native(self):
+        for a, b in zip(rand_elems(50), rand_elems(50)):
+            t = a * b
+            assert self.BAR.reduce(t) == t % P
+            assert self.BAR.mul(a, b) == a * b % P
+
+    def test_reduce_negative(self):
+        for a, b in zip(rand_elems(30), rand_elems(30)):
+            t = a * b
+            assert self.BAR.reduce(-t) == (-t) % P
+        assert self.BAR.reduce(-1) == P - 1
+
+    def test_reduce_lazy_width(self):
+        # the shift is sized for a small multiple of p^2 (lazy tower sums)
+        for a, b in zip(rand_elems(20), rand_elems(20)):
+            t = 5 * a * b
+            assert self.BAR.reduce(t) == t % P
+
+    def test_reduce_edges(self):
+        for t in (0, 1, P - 1, P, P + 1, 2 * P, P * P - 1):
+            assert self.BAR.reduce(t) == t % P
+            assert self.BAR.reduce(-t) == (-t) % P
+
+    def test_small_modulus_raises(self):
+        with pytest.raises(FieldError):
+            BarrettContext(1)
+
+
+class TestBackendSelection:
+    def test_backend_memoized(self):
+        assert backend_for(P) is backend_for(P)
+
+    def test_backend_kinds_valid(self):
+        backend = backend_for(P)
+        assert backend.mul_kind in ("native", "montgomery")
+        assert backend.wide_kind in ("native", "barrett")
+
+    def test_wide_reducer_is_canonicalizing(self):
+        rw = wide_reducer(P)
+        for a, b in zip(rand_elems(20), rand_elems(20)):
+            assert rw(a * b) == a * b % P
+        assert rw(-5) == P - 5
+
+    def test_env_override(self, monkeypatch):
+        q = 2 ** 61 - 1  # a modulus no other test calibrates
+        try:
+            monkeypatch.setenv("REPRO_FIELD_BACKEND", "montgomery")
+            assert backend_for(q).mul_kind == "montgomery"
+            del _backends[q]
+            monkeypatch.setenv("REPRO_FIELD_BACKEND", "barrett")
+            assert backend_for(q).wide_kind == "barrett"
+            del _backends[q]
+            monkeypatch.setenv("REPRO_FIELD_BACKEND", "native")
+            b = backend_for(q)
+            assert (b.mul_kind, b.wide_kind) == ("native", "native")
+        finally:
+            _backends.pop(q, None)
+
+    def test_force_backend_restores(self):
+        before = backend_for(P)
+        with force_backend(P, mul_kind="montgomery") as forced:
+            assert backend_for(P) is forced
+            assert backend_for(P).mul_kind == "montgomery"
+        assert backend_for(P) is before
+
+    def test_force_backend_restores_absent_entry(self):
+        q = 2 ** 89 - 1
+        _backends.pop(q, None)
+        with force_backend(q, mul_kind="montgomery"):
+            assert backend_for(q).mul_kind == "montgomery"
+        assert q not in _backends
+
+    def test_force_backend_rejects_bad_kinds(self):
+        with pytest.raises(ValueError):
+            force_backend(P, mul_kind="barrett")
+        with pytest.raises(ValueError):
+            force_backend(P, wide_kind="montgomery")
+
+    def test_field_backend_contexts_lazy(self):
+        backend = FieldBackend(P, "native", "native")
+        assert backend.mont.p == P
+        assert backend.barrett.p == P
+
+
+def jac_rand_points(n):
+    rng = random.Random(909)
+    pts = []
+    for _ in range(n):
+        aff = rng.randrange(1, 1 << 24) * BN254_G1.generator
+        z = rng.randrange(1, P)
+        # an arbitrary-Z Jacobian representative of the same affine point
+        pts.append((aff.x * z * z % P, aff.y * z * z * z % P, z))
+    return pts
+
+
+class TestJacKernelParity:
+    """The *_mont point kernels mirror the canonical formulas step for
+    step, so the output tuples (not just the affine classes) match."""
+
+    def test_double_parity(self):
+        a_m = CTX.to_mont(BN254_G1.a)
+        for pt in jac_rand_points(12):
+            want = jac_double(BN254_G1, pt)
+            got = jac_from_mont(CTX, jac_double_mont(CTX, a_m, jac_to_mont(CTX, pt)))
+            assert got == want
+
+    def test_add_parity(self):
+        a_m = CTX.to_mont(BN254_G1.a)
+        pts = jac_rand_points(12)
+        for p1, p2 in zip(pts, pts[1:]):
+            want = jac_add(BN254_G1, p1, p2)
+            got = jac_from_mont(
+                CTX,
+                jac_add_mont(CTX, a_m, jac_to_mont(CTX, p1), jac_to_mont(CTX, p2)),
+            )
+            assert got == want
+
+    def test_add_affine_parity(self):
+        a_m = CTX.to_mont(BN254_G1.a)
+        pts = jac_rand_points(10)
+        for p1, p2 in zip(pts, pts[1:]):
+            aff = jac_to_affine(BN254_G1, p2)
+            aff_m = (CTX.to_mont(aff[0]), CTX.to_mont(aff[1]))
+            want = jac_add_affine(BN254_G1, p1, aff)
+            got = jac_from_mont(
+                CTX, jac_add_affine_mont(CTX, a_m, jac_to_mont(CTX, p1), aff_m)
+            )
+            assert got == want
+
+    def test_chain_parity(self):
+        # a long mixed double/add chain keeps the representations in sync
+        a_m = CTX.to_mont(BN254_G1.a)
+        pts = jac_rand_points(6)
+        acc_c = JAC_INFINITY
+        acc_m = jac_to_mont(CTX, JAC_INFINITY)
+        for i, pt in enumerate(pts * 3):
+            if i % 2:
+                acc_c = jac_double(BN254_G1, acc_c)
+                acc_m = jac_double_mont(CTX, a_m, acc_m)
+            acc_c = jac_add(BN254_G1, acc_c, pt)
+            acc_m = jac_add_mont(CTX, a_m, acc_m, jac_to_mont(CTX, pt))
+            assert jac_from_mont(CTX, acc_m) == acc_c
+
+    def test_special_cases(self):
+        a_m = CTX.to_mont(BN254_G1.a)
+        pt = jac_rand_points(1)[0]
+        pt_m = jac_to_mont(CTX, pt)
+        inf_m = jac_to_mont(CTX, JAC_INFINITY)
+        # infinity handling
+        assert jac_from_mont(CTX, jac_add_mont(CTX, a_m, inf_m, pt_m)) == \
+            jac_add(BN254_G1, JAC_INFINITY, pt)
+        assert jac_from_mont(CTX, jac_add_mont(CTX, a_m, pt_m, inf_m)) == \
+            jac_add(BN254_G1, pt, JAC_INFINITY)
+        assert jac_double_mont(CTX, a_m, inf_m) == JAC_INFINITY
+        # P + P routes through the doubling branch
+        assert jac_from_mont(CTX, jac_add_mont(CTX, a_m, pt_m, pt_m)) == \
+            jac_add(BN254_G1, pt, pt)
+        # P + (-P) cancels to infinity
+        neg = (pt[0], (-pt[1]) % P, pt[2])
+        got = jac_add_mont(CTX, a_m, pt_m, jac_to_mont(CTX, neg))
+        assert got == JAC_INFINITY
+        # mixed add onto an infinity accumulator lifts with Z = R mod p
+        aff = jac_to_affine(BN254_G1, pt)
+        aff_m = (CTX.to_mont(aff[0]), CTX.to_mont(aff[1]))
+        lifted = jac_add_affine_mont(CTX, a_m, inf_m, aff_m)
+        assert jac_from_mont(CTX, lifted) == (aff[0], aff[1], 1)
+
+    def test_to_from_mont_infinity(self):
+        assert jac_to_mont(CTX, JAC_INFINITY) == JAC_INFINITY
+        assert jac_from_mont(CTX, JAC_INFINITY) == JAC_INFINITY
+
+
+def _msm_workload(seed, n):
+    rng = random.Random(seed)
+    bases, scalars = [], []
+    g = BN254_G1.generator
+    for _ in range(n):
+        pt = rng.randrange(1, 1 << 20) * g
+        bases.append((pt.x, pt.y))
+        scalars.append(rng.randrange(0, BN254_G1.order))
+    return bases, scalars
+
+
+class TestMontgomeryGroup:
+    def test_rep_validation(self):
+        with pytest.raises(ValueError):
+            JacobianGroup(BN254_G1, rep="redc")
+
+    def test_auto_resolves(self):
+        with force_backend(P, mul_kind="montgomery"):
+            assert JacobianGroup(BN254_G1, rep="auto").kind == "mont"
+        with force_backend(P, mul_kind="native"):
+            assert JacobianGroup(BN254_G1, rep="auto").kind == "canonical"
+
+    def test_canonical_of(self):
+        mont = JacobianGroup(BN254_G1, rep="mont")
+        assert mont.canonical().kind == "canonical"
+        canon = JacobianGroup(BN254_G1, rep="canonical")
+        assert canon.canonical() is canon
+
+    def test_msm_parity(self):
+        canon = JacobianGroup(BN254_G1, rep="canonical")
+        mont = JacobianGroup(BN254_G1, rep="mont")
+        for seed, n in ((11, 1), (22, 33), (33, 120)):
+            bases, scalars = _msm_workload(seed, n)
+            want = msm_generic(canon, bases, scalars)
+            got = msm_generic(mont, bases, scalars)
+            assert got == want  # identical Jacobian tuples, not just class
+
+    def test_msm_bucket_collisions(self):
+        # duplicate bases (P + P in a bucket) and negated pairs (P + -P)
+        canon = JacobianGroup(BN254_G1, rep="canonical")
+        mont = JacobianGroup(BN254_G1, rep="mont")
+        bases, _ = _msm_workload(77, 8)
+        bases = bases + bases + [(x, (-y) % P) for x, y in bases[:4]]
+        k = 0x1F2F3F4F
+        scalars = [k] * len(bases)
+        want = msm_generic(canon, bases, scalars)
+        assert msm_generic(mont, bases, scalars) == want
+
+    def test_msm_edge_scalars(self):
+        canon = JacobianGroup(BN254_G1, rep="canonical")
+        mont = JacobianGroup(BN254_G1, rep="mont")
+        bases, _ = _msm_workload(55, 4)
+        for scalars in ([0, 0, 0, 0], [1, 0, BN254_G1.order - 1, 2]):
+            assert msm_generic(mont, bases, scalars) == \
+                msm_generic(canon, bases, scalars)
+
+    def test_msm_reference_safe_with_mont_group(self):
+        # msm_reference predates the representation split: it must route
+        # through group.canonical() rather than misread canonical bases
+        mont = JacobianGroup(BN254_G1, rep="mont")
+        canon = JacobianGroup(BN254_G1, rep="canonical")
+        bases, scalars = _msm_workload(66, 16)
+        assert msm_reference(mont, bases, scalars) == \
+            msm_reference(canon, bases, scalars)
+
+    def test_reduce_buckets_parity(self):
+        canon = JacobianGroup(BN254_G1, rep="canonical")
+        mont = JacobianGroup(BN254_G1, rep="mont")
+        bases, _ = _msm_workload(88, 6)
+        neg = (bases[0][0], (-bases[0][1]) % P)
+        bucket_lists = [
+            bases[:3],
+            [],                       # empty bucket -> None
+            [bases[0], bases[0]],     # doubling branch
+            [bases[0], neg],          # cancellation -> None
+            bases[3:] + [bases[3]],
+        ]
+        want = canon.reduce_buckets(bucket_lists)
+        mont_in = [
+            [(CTX.to_mont(x), CTX.to_mont(y)) for x, y in lst]
+            for lst in bucket_lists
+        ]
+        got = [
+            None if out is None else (CTX.from_mont(out[0]), CTX.from_mont(out[1]))
+            for out in mont.reduce_buckets(mont_in)
+        ]
+        assert got == want
+
+    def test_enter_exit_kernel(self):
+        mont = JacobianGroup(BN254_G1, rep="mont")
+        bases, _ = _msm_workload(99, 5)
+        inside = mont.enter_kernel(bases)
+        assert inside != bases
+        back = [(CTX.from_mont(x), CTX.from_mont(y)) for x, y in inside]
+        assert back == bases
+        assert mont.exit_kernel(JAC_INFINITY) == JAC_INFINITY
+
+    def test_pickle_carries_resolved_kind(self):
+        mont = JacobianGroup(BN254_G1, rep="mont")
+        clone = pickle.loads(pickle.dumps(mont))
+        assert clone.kind == "mont"
+        bases, scalars = _msm_workload(44, 12)
+        assert msm_generic(clone, bases, scalars) == \
+            msm_generic(mont, bases, scalars)
+
+
+class TestFFTParity:
+    def _values(self, n, seed=5):
+        rng = random.Random(seed)
+        return [rng.randrange(0, BN254_R) for _ in range(n)]
+
+    def test_fft_parity(self):
+        for n in (2, 8, 64):
+            values = self._values(n)
+            omega = domain_root(n)
+            want = cached_fft(list(values), omega)
+            with force_backend(BN254_R, mul_kind="montgomery"):
+                got = cached_fft(list(values), omega)
+            assert got == want
+
+    def test_ifft_round_trip_forced(self):
+        values = self._values(32)
+        omega = domain_root(32)
+        with force_backend(BN254_R, mul_kind="montgomery"):
+            assert cached_ifft(cached_fft(list(values), omega), omega) == values
+
+    def test_coset_fft_parity(self):
+        values = self._values(16, seed=6)
+        omega = domain_root(16)
+        want = cached_coset_fft(list(values), omega)
+        with force_backend(BN254_R, mul_kind="montgomery"):
+            got = cached_coset_fft(list(values), omega)
+        assert got == want
+
+    def test_fft_handles_unreduced_inputs(self):
+        values = self._values(8, seed=7)
+        wide = [v + BN254_R for v in values]
+        omega = domain_root(8)
+        want = cached_fft(list(wide), omega)
+        with force_backend(BN254_R, mul_kind="montgomery"):
+            got = cached_fft(list(wide), omega)
+        assert got == want
+
+
+class TestCounters:
+    def test_mont_ops_counted(self):
+        from repro.field.montgomery import MONT_MULS, REDC_CALLS
+
+        muls0 = MONT_MULS.snapshot()
+        redc0 = REDC_CALLS.snapshot()
+        CTX.mont_mul(CTX.one(), CTX.one())
+        CTX.redc(1)
+        assert MONT_MULS.snapshot() == muls0 + 1
+        assert REDC_CALLS.snapshot() == redc0 + 1
+
+    def test_kernels_bulk_count(self):
+        from repro.field.montgomery import MONT_MULS
+
+        a_m = CTX.to_mont(BN254_G1.a)
+        pt_m = jac_to_mont(CTX, jac_rand_points(1)[0])
+        before = MONT_MULS.snapshot()
+        jac_double_mont(CTX, a_m, pt_m)
+        assert MONT_MULS.snapshot() - before == 10
+
+
+class TestEndToEndParity:
+    """Identical proof bytes and verdicts with Montgomery kernels forced
+    on both the base field (point kernels) and the scalar field (NTT)."""
+
+    def _prove_bytes(self):
+        from repro.groth16 import is_valid, proof_to_bytes, prove
+        from repro.r1cs import ConstraintSystem
+
+        field = PrimeField(BN254_R)
+        cs = ConstraintSystem(field)
+        w_val = 3
+        x_val = (pow(w_val, 3, BN254_R) + w_val + 5) % BN254_R
+        x = cs.alloc_public(x_val, "x")
+        w = cs.alloc(w_val, "w")
+        w2 = cs.mul(w, w)
+        w3 = cs.mul(w2, w)
+        cs.enforce_equal(w3 + w + 5, x)
+        pk, vk, _ = self._keys_for(cs)
+        rng_values = iter([123456789, 987654321])
+        proof = prove(pk, cs, rng=lambda: next(rng_values))
+        assert is_valid(vk, proof, cs.public_inputs())
+        return proof_to_bytes(proof)
+
+    _cached_keys = None
+
+    def _keys_for(self, cs):
+        from repro.groth16 import setup
+
+        if TestEndToEndParity._cached_keys is None:
+            TestEndToEndParity._cached_keys = setup(cs)
+        return TestEndToEndParity._cached_keys
+
+    def test_proof_bytes_identical(self):
+        native = self._prove_bytes()
+        with force_backend(P, mul_kind="montgomery"):
+            with force_backend(BN254_R, mul_kind="montgomery"):
+                forced = self._prove_bytes()
+        assert forced == native

@@ -67,6 +67,27 @@ class TestSqrt:
             r = FR.sqrt(sq)
             assert r * r % BN254_R == sq
 
+    def test_sqrt_p_1_mod_4_exhaustive_small(self):
+        # every residue of a small p = 1 mod 4 prime, hitting the
+        # Tonelli-Shanks loop's nontrivial iterations (13 has 2-adicity 2)
+        f = PrimeField(13)
+        squares = {x * x % 13 for x in range(1, 13)}
+        for sq in squares:
+            r = f.sqrt(sq)
+            assert r * r % 13 == sq
+        for x in range(2, 13):
+            if x not in squares:
+                with pytest.raises(FieldError):
+                    f.sqrt(x)
+
+    def test_sqrt_p_1_mod_4_high_two_adicity(self):
+        # 97 = 1 + 32*3: 2-adicity 5 forces several squaring descents
+        f = PrimeField(97)
+        for x in range(1, 97):
+            sq = x * x % 97
+            r = f.sqrt(sq)
+            assert r * r % 97 == sq
+
     def test_sqrt_nonresidue_raises(self):
         f = PrimeField(19)
         nonresidues = [x for x in range(2, 19) if f.legendre(x) == -1]
@@ -96,12 +117,54 @@ class TestBatchInv:
         with pytest.raises(FieldError):
             FR.batch_inv([1, 0, 2])
 
+    def test_interleaved_zeros_report_first_index(self):
+        # the error names the FIRST offending index even with several zeros
+        # scattered through the batch
+        with pytest.raises(FieldError, match="index 1"):
+            FR.batch_inv([7, 0, 5, 0, 3, 0])
+
+    def test_zero_at_head_and_tail(self):
+        with pytest.raises(FieldError, match="index 0"):
+            FR.batch_inv([0, 1, 2])
+        with pytest.raises(FieldError, match="index 2"):
+            FR.batch_inv([1, 2, 0])
+
     @given(st.lists(elements.filter(lambda x: x != 0), min_size=1, max_size=20))
     @settings(max_examples=25, deadline=None)
     def test_property(self, xs):
         invs = FR.batch_inv(xs)
         for x, ix in zip(xs, invs):
             assert x * ix % BN254_R == 1
+
+
+class TestUnreducedInputs:
+    """div/pow accept unreduced (wide or negative) operands; each performs
+    exactly one reduction of its own."""
+
+    def test_div_wide_operands(self):
+        a, b = BN254_R + 7, 2 * BN254_R + 3
+        assert FR.div(a, b) == FR.div(7, 3)
+        assert FR.mul(FR.div(a, b), 3) == 7
+
+    def test_div_negative_numerator(self):
+        assert FR.div(-5, 3) == FR.div(BN254_R - 5, 3)
+
+    def test_pow_wide_base(self):
+        assert FR.pow(BN254_R + 3, 5) == pow(3, 5, BN254_R)
+
+    def test_pow_negative_base(self):
+        assert FR.pow(-2, 3) == (-8) % BN254_R
+
+    def test_pow_negative_exponent(self):
+        # e < 0 means (a mod p)^e; requires the base reduced before pow()
+        assert FR.pow(BN254_R + 3, -1) == FR.inv(3)
+        assert FR.mul(FR.pow(3, -2), pow(3, 2, BN254_R)) == 1
+
+    def test_inv_result_canonical(self):
+        for x in (1, 2, BN254_R - 1, BN254_R + 5):
+            r = FR.inv(x)
+            assert 0 <= r < BN254_R
+            assert r * x % BN254_R == 1
 
 
 class TestSerialization:
