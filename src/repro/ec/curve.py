@@ -180,7 +180,7 @@ def jac_mul(curve, pt, k, window=4):
 # above -R*p, which the signed normalization handles.
 
 
-def jac_double_mont(ctx, a_m, pt):
+def jac_double_mont(ctx, a_m, pt):  # domain: kernel(mont)
     """`jac_double` on Montgomery-form coordinates (`a_m` = to_mont(a))."""
     p = ctx.p
     n0 = ctx.n_prime
@@ -232,7 +232,7 @@ def jac_double_mont(ctx, a_m, pt):
     return (T, Y3, Z3)
 
 
-def jac_add_mont(ctx, a_m, pt1, pt2):
+def jac_add_mont(ctx, a_m, pt1, pt2):  # domain: kernel(mont)
     """`jac_add` on Montgomery-form coordinates."""
     p = ctx.p
     n0 = ctx.n_prime
@@ -309,7 +309,7 @@ def jac_add_mont(ctx, a_m, pt1, pt2):
     return (X3, Y3, Z3)
 
 
-def jac_add_affine_mont(ctx, a_m, pt1, pt2):
+def jac_add_affine_mont(ctx, a_m, pt1, pt2):  # domain: kernel(mont)
     """`jac_add_affine` on Montgomery-form coordinates.
 
     ``pt2`` is an affine Montgomery-form pair; an infinity accumulator

@@ -96,7 +96,7 @@ def _mont_twiddle_table(n, omega, ctx):
     return table
 
 
-def _fft_mont(values, omega, ctx):
+def _fft_mont(values, omega, ctx):  # domain: kernel(mont)
     """The butterfly network with REDC products on Montgomery-form values.
 
     Values convert in at entry and out at exit (2n REDCs); each butterfly
@@ -147,7 +147,7 @@ def _fft_mont(values, omega, ctx):
         out.append(u - p if u >= p else u)
     _MONT_MULS.inc(muls + n)
     _REDC_CALLS.inc(muls + 2 * n)
-    return out
+    return out  # domain: canonical(n)
 
 
 def cached_fft(values, omega):

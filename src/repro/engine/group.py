@@ -324,7 +324,7 @@ class JacobianGroup(Group):
             out.append((xm, u - p if u >= p else u))
         MONT_MULS.inc(2 * len(bases))
         REDC_CALLS.inc(2 * len(bases))
-        return out
+        return out  # domain: mont
 
     def _exit_kernel_mont(self, el):
         """Montgomery-form accumulator -> canonical Jacobian tuple."""
@@ -333,7 +333,7 @@ class JacobianGroup(Group):
         ctx = self._mont
         return (ctx.from_mont(el[0]), ctx.from_mont(el[1]), ctx.from_mont(el[2]))
 
-    def _reduce_buckets_mont(self, bucket_lists):
+    def _reduce_buckets_mont(self, bucket_lists):  # domain: kernel(mont)
         """`reduce_buckets` on Montgomery-form affine pairs.
 
         Same pairing rounds and special-case handling; products reduce by

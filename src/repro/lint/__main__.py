@@ -1,17 +1,23 @@
-"""``python -m repro.lint`` — the CI gate for both analyzers.
+"""``python -m repro.lint`` — the CI gate for all three analyzers.
 
 Targets:
 
-* ``hygiene``   — AST pass over the ``repro`` source tree.
+* ``hygiene``   — syntactic AST pass over the ``repro`` source tree.
+* ``domains``   — value-domain dataflow over the source tree (or over
+  explicit ``--path`` files/dirs, e.g. the lint fixtures).
 * ``gadgets``   — synthesize and audit every registry entry standalone
   (or one, via ``--gadget NAME``).
 * ``statement`` — synthesize the full toy ``S_NOPE`` statement for a
   depth-2 domain and audit it end to end.
 * ``all``       — everything above (the default; what CI runs).
+* ``baseline prune`` — drop baseline entries whose keys no longer fire
+  anywhere, and rewrite the baseline file.
 
 Exit status is decided against the checked-in baseline: ``--fail-on new``
 (default) fails only on findings whose key is absent from the baseline,
 ``any`` fails on any finding, ``none`` always exits 0 (report-only).
+``--json`` prints the report as JSON; ``--json-out PATH`` additionally
+writes it to a file (what CI uploads as the lint artifact).
 """
 
 import argparse
@@ -19,6 +25,7 @@ import sys
 
 from ..telemetry.clocks import perf as _perf
 from .circuit import DEFAULT_SEED, audit_system
+from .domains import analyze_paths, analyze_tree
 from .hygiene import lint_tree
 from .registry import GADGET_AUDITS, build_gadget_system
 from .report import Report, default_baseline_path, load_baseline, save_baseline
@@ -86,8 +93,20 @@ def main(argv=None):
         "target",
         nargs="?",
         default="all",
-        choices=("all", "statement", "gadgets", "hygiene"),
+        choices=("all", "statement", "gadgets", "hygiene", "domains", "baseline"),
         help="what to audit (default: all)",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help="subcommand for the `baseline` target (only: prune)",
+    )
+    parser.add_argument(
+        "--path",
+        action="append",
+        help="analyze this file/directory instead of the source tree "
+        "(domains target only; repeatable)",
     )
     parser.add_argument(
         "--gadget",
@@ -115,6 +134,11 @@ def main(argv=None):
     )
     parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
     parser.add_argument(
+        "--json-out",
+        default=None,
+        help="also write the JSON report to this path (the CI artifact)",
+    )
+    parser.add_argument(
         "--no-probe",
         action="store_true",
         help="skip the determinism probe (structural checks only)",
@@ -137,11 +161,26 @@ def main(argv=None):
     probe = not args.no_probe
     target = "gadgets" if (args.gadget and args.target == "all") else args.target
 
+    baseline_path = args.baseline or default_baseline_path()
+    if target == "baseline":
+        if args.action != "prune":
+            parser.error("the baseline target supports exactly one action: prune")
+        return _baseline_prune(baseline_path, probe, args.probe_rounds, seed)
+    if args.action is not None:
+        parser.error("positional action is only valid with the baseline target")
+
     findings = []
     if target in ("all", "hygiene"):
         if args.verbose:
-            print("linting source tree...", file=sys.stderr)
+            print("linting source tree (hygiene)...", file=sys.stderr)
         findings.extend(lint_tree())
+    if target in ("all", "domains"):
+        if args.verbose:
+            print("analyzing value domains...", file=sys.stderr)
+        if args.path:
+            findings.extend(analyze_paths(args.path))
+        else:
+            findings.extend(analyze_tree())
     if target in ("all", "gadgets"):
         names = args.gadget or list(GADGET_AUDITS)
         if args.verbose:
@@ -160,7 +199,6 @@ def main(argv=None):
                 file=sys.stderr,
             )
 
-    baseline_path = args.baseline or default_baseline_path()
     baseline = load_baseline(baseline_path)
     report = Report(findings, baseline)
 
@@ -176,8 +214,39 @@ def main(argv=None):
         )
         report = Report(findings, baseline)
 
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
     print(report.to_json() if args.json else report.render_text())
     return report.exit_code(args.fail_on)
+
+
+def _baseline_prune(baseline_path, probe, probe_rounds, seed):
+    """Run every analyzer, then drop baseline keys that no longer fire.
+
+    The full sweep (hygiene + domains + gadgets + statement) is the same
+    set of findings ``all`` gates on, so a pruned entry is genuinely
+    dead: nothing in the tree or the audited systems produces its key.
+    """
+    findings = []
+    findings.extend(lint_tree())
+    findings.extend(analyze_tree())
+    findings.extend(_gadget_findings(list(GADGET_AUDITS), probe, probe_rounds, seed, False))
+    findings.extend(_statement_findings(probe, probe_rounds, seed))
+    baseline = load_baseline(baseline_path)
+    live = {f.key for f in findings}
+    stale = sorted(k for k in baseline if k not in live)
+    for key in stale:
+        del baseline[key]
+    save_baseline(baseline_path, baseline)
+    for key in stale:
+        print("pruned: %s" % key)
+    print(
+        "baseline: %d stale entr%s pruned, %d kept (%s)"
+        % (len(stale), "y" if len(stale) == 1 else "ies", len(baseline), baseline_path)
+    )
+    return 0
 
 
 if __name__ == "__main__":

@@ -33,27 +33,21 @@ Repo rules enforced (each a check name, keyed per file + enclosing scope):
   whole batch, as the MSM's batched-affine bucket accumulation does).
   Severity: error — loops whose trip count is provably tiny carry a
   baseline justification.
-* ``raw-mod-in-hot-loop`` — a raw ``% p`` (or ``% _P``) reduction
-  lexically inside a loop in the kernel layers (``engine/``,
-  ``pairing/``, ``ec/``), where a Montgomery context is available:
-  products in hot loops should reduce by REDC through the calibrated
-  backend (or hoist the reduction to the kernel boundary) rather than
-  pay a division per iteration.  Severity: warning — additive
-  normalizations and calibrated-native paths stay in the baseline with
-  a justification.
-* ``wire-bypass``      — importing or calling the raw proof wire
-  primitives (``proof_to_bytes``, ``encode_proof_sans``,
-  ``decode_payload_chars``, the ``g1``/``g2`` point codecs, ...) outside
-  the sanctioned layers (``wire/``, ``groth16/``, ``x509/san.py`` and its
-  re-exporting ``__init__``).  Every other module must produce/consume
-  proof bytes through the :mod:`repro.wire` envelope API so the canonical
-  format (and its nullifier anti-reuse) cannot be sidestepped.  Severity:
-  error.
+Two former rules moved into the value-domain analyzer
+(:mod:`repro.lint.domains`), which supersedes their syntactic versions
+with real dataflow: ``raw-mod-in-hot-loop`` (now the ``mont``/
+``canonical`` domain discipline itself — a raw ``%`` on the wrong
+representation is a mixing error, a legitimate additive normalization
+is not) and ``wire-bypass`` (now ``wire-escape``, which also tracks
+proof bytes through assignments and returns).
 
-All checks are static and syntactic: they cannot see through aliasing
-(``import random as r``) beyond the patterns above, which is acceptable
-for a codebase-local rule set — the point is to stop the obvious write,
-not a determined adversary with commit access.
+All checks are static and syntactic, but alias-aware: ``import random
+as r`` / ``from time import perf_counter as pc`` resolve through a
+per-file alias map before the rules run, so renaming an import cannot
+dodge them.  The alias map is file-flat (function-local imports share
+it), which is acceptable for a codebase-local rule set — the point is
+to stop the obvious write, not a determined adversary with commit
+access.
 """
 
 import ast
@@ -69,13 +63,6 @@ CRYPTO_PATHS = ("sig/", "groth16/", "ca/", "field/", "ec/", "pairing/", "engine/
 #: exact-arithmetic layers where floats are banned outright
 FLOAT_PATHS = ("field/", "ec/", "pairing/")
 
-#: kernel layers where a Montgomery context is available and a raw `% p`
-#: inside a loop is a hot-path smell (see ``raw-mod-in-hot-loop``)
-HOT_MOD_PATHS = ("engine/", "pairing/", "ec/")
-
-#: right-operand names that denote the field modulus in this codebase
-_MODULUS_NAMES = {"p", "_P"}
-
 #: identifier tokens that mark an authenticator-ish value
 _DIGEST_TOKENS = {"digest", "hmac", "mac", "fingerprint"}
 
@@ -85,19 +72,6 @@ _CLOCK_READS = {"time", "perf_counter", "monotonic", "process_time"}
 
 #: modules whose own job is reading clocks
 _CLOCK_EXEMPT_PATHS = ("telemetry/",)
-
-#: raw proof wire primitives; everything else goes through repro.wire
-_WIRE_PRIMITIVES = {
-    "proof_to_bytes", "proof_from_bytes",
-    "g1_to_bytes", "g1_from_bytes", "g2_to_bytes", "g2_from_bytes",
-    "encode_proof_chars", "decode_proof_chars",
-    "encode_proof_sans", "decode_proof_sans",
-    "encode_payload_chars", "decode_payload_chars",
-    "encode_payload_sans", "decode_payload_sans",
-}
-
-#: layers allowed to touch the wire primitives directly
-_WIRE_ALLOWED_PATHS = ("wire/", "groth16/", "x509/san.py", "x509/__init__.py")
 
 #: trailing tokens that mark a *metadata* name, not the bytes themselves
 _EXEMPT_TAILS = {"type", "types", "len", "length", "size", "id", "alg"}
@@ -171,9 +145,17 @@ class _Scope(ast.NodeVisitor):
         self.loop_depth = 0
         self.in_crypto = relpath.startswith(CRYPTO_PATHS)
         self.in_float_ban = relpath.startswith(FLOAT_PATHS)
-        self.in_hot_mod = relpath.startswith(HOT_MOD_PATHS)
         self.clock_exempt = relpath.startswith(_CLOCK_EXEMPT_PATHS)
-        self.wire_exempt = relpath.startswith(_WIRE_ALLOWED_PATHS)
+        # alias resolution: `import random as r` / `from time import
+        # perf_counter as pc` must not dodge the rules
+        self.module_aliases = {}  # local name -> imported module name
+        self.name_aliases = {}  # local name -> imported original name
+
+    def _module_of(self, name):
+        return self.module_aliases.get(name, name)
+
+    def _name_of(self, name):
+        return self.name_aliases.get(name, name)
 
     def scope(self):
         return ".".join(self.stack) if self.stack else "<module>"
@@ -242,6 +224,8 @@ class _Scope(ast.NodeVisitor):
 
     def visit_Import(self, node):
         for alias in node.names:
+            if alias.asname:
+                self.module_aliases[alias.asname] = alias.name
             if alias.name == "random" or alias.name.startswith("random."):
                 self.add(
                     "random-module", self._random_severity(), node,
@@ -251,6 +235,9 @@ class _Scope(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node):
+        for alias in node.names:
+            if alias.asname:
+                self.name_aliases[alias.asname] = alias.name
         if node.module == "random":
             self.add(
                 "random-module", self._random_severity(), node,
@@ -264,19 +251,13 @@ class _Scope(ast.NodeVisitor):
                         "`from time import %s` bypasses the telemetry clock; "
                         "use repro.telemetry.clocks" % alias.name,
                     )
-        if not self.wire_exempt:
-            for alias in node.names:
-                if alias.name in _WIRE_PRIMITIVES:
-                    self.add(
-                        "wire-bypass", "error", node,
-                        "import of wire primitive `%s` outside the wire "
-                        "layer; produce/consume proof bytes through "
-                        "repro.wire" % alias.name,
-                    )
         self.generic_visit(node)
 
     def visit_Attribute(self, node):
-        if isinstance(node.value, ast.Name) and node.value.id == "random":
+        if (
+            isinstance(node.value, ast.Name)
+            and self._module_of(node.value.id) == "random"
+        ):
             self.add(
                 "random-module", self._random_severity(), node,
                 "`random.%s` is not cryptographically secure" % node.attr,
@@ -330,28 +311,7 @@ class _Scope(ast.NodeVisitor):
                 "true division `/` in an exact-arithmetic layer; use `//` "
                 "or a modular inverse",
             )
-        if (
-            self.in_hot_mod
-            and self.loop_depth > 0
-            and isinstance(node.op, ast.Mod)
-            and self._names_modulus(node.right)
-        ):
-            self.add(
-                "raw-mod-in-hot-loop", "warning", node,
-                "raw `% p` inside a kernel-layer loop; reduce via the "
-                "calibrated field backend (REDC/Barrett) or hoist the "
-                "reduction to the kernel boundary",
-            )
         self.generic_visit(node)
-
-    @staticmethod
-    def _names_modulus(node):
-        """Whether an expression syntactically names the field modulus."""
-        if isinstance(node, ast.Name):
-            return node.id in _MODULUS_NAMES
-        if isinstance(node, ast.Attribute):
-            return node.attr == "p"
-        return False
 
     def visit_Call(self, node):
         if (
@@ -367,7 +327,7 @@ class _Scope(ast.NodeVisitor):
             not self.clock_exempt
             and isinstance(node.func, ast.Attribute)
             and isinstance(node.func.value, ast.Name)
-            and node.func.value.id in ("time", "_time")
+            and self._module_of(node.func.value.id) in ("time", "_time")
             and node.func.attr in _CLOCK_READS
         ):
             self.add(
@@ -378,7 +338,7 @@ class _Scope(ast.NodeVisitor):
             )
         callee = None
         if isinstance(node.func, ast.Name):
-            callee = node.func.id
+            callee = self._name_of(node.func.id)
         elif isinstance(node.func, ast.Attribute):
             callee = node.func.attr
         if callee == "inv" and self.loop_depth > 0:
@@ -388,13 +348,6 @@ class _Scope(ast.NodeVisitor):
                 "PrimeField.batch_inverse call (3n mults + 1 inversion) "
                 "unless the trip count is provably tiny",
             )
-        if not self.wire_exempt:
-            if callee in _WIRE_PRIMITIVES:
-                self.add(
-                    "wire-bypass", "error", node,
-                    "call to wire primitive `%s()` outside the wire layer; "
-                    "produce/consume proof bytes through repro.wire" % callee,
-                )
         self.generic_visit(node)
 
 

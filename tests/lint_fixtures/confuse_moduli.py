@@ -1,0 +1,16 @@
+"""Deliberately wrong: base-prime and group-order arithmetic mixed.
+
+Scalars live mod the group order n; reducing one `% p` (or passing a
+mod-p value where a mod-n scalar is declared) yields a value that is
+wrong with probability ~1 - n/p.
+"""
+
+
+def wrong_reduction(h, n, p):
+    e = h % n
+    return e % p
+
+
+def wrong_split(k, n, p, ctx):
+    kp = k % p
+    return split_scalar(kp, n, ctx)

@@ -1,0 +1,17 @@
+"""Deliberately wrong: lazily-unreduced tower tuples escape the tower.
+
+`_m6` returns double-wide unreduced limb tuples; outside
+`field/extension.py` they must pass through a boundary reducer before
+use, and a function handing them out must declare `-> raw-tuple`.
+"""
+
+
+def mul_no_reduce(a, b):
+    t = _m6(a, b)
+    return t
+
+
+def rebuild_from_wide(a, b):
+    t = _m2(a, b)
+    lo, hi = t
+    return fq2_raw(lo, hi)

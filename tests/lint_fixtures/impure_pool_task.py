@@ -1,0 +1,16 @@
+"""Deliberately wrong: a pool-shipped task mutating state it does not own.
+
+Worker processes get copy-on-write memory; writes to module state never
+merge back, so serial and parallel runs silently diverge.
+"""
+
+_CACHE = {}
+
+
+def tile_worker(x):
+    _CACHE[x] = x * 2
+    return x
+
+
+def drive(pool, xs):
+    return [pool.submit(tile_worker, x) for x in xs]

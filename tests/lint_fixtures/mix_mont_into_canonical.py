@@ -1,0 +1,16 @@
+"""Deliberately wrong: Montgomery residues fed to canonical arithmetic.
+
+`jac_to_mont` returns coordinates scaled by R; handing them to the
+canonical `jac_add` kernel silently computes garbage (every product
+picks up an extra R factor the canonical kernel never strips).
+"""
+
+
+def add_mixed(curve, ctx, pt, q):
+    pm = jac_to_mont(ctx, pt)
+    return jac_add(curve, pm, q)
+
+
+def reduce_mixed(ctx, x, n):
+    xm = to_mont(x)
+    return xm % n

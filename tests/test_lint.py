@@ -244,92 +244,49 @@ class TestHygiene:
         src = "def f(field, x):\n    return field.inv(x)\n"
         assert lint_source(src, "gadgets/demo.py") == []
 
-    def test_raw_mod_in_hot_loop_flagged(self):
-        src = (
-            "def f(xs, p):\n"
-            "    acc = 1\n"
-            "    for x in xs:\n"
-            "        acc = acc * x % p\n"
-            "    return acc\n"
-        )
-        for relpath in ("engine/demo.py", "pairing/demo.py", "ec/demo.py"):
-            (f,) = lint_source(src, relpath)
-            assert (f.check, f.severity) == ("raw-mod-in-hot-loop", "warning")
-            assert "backend" in f.message
+    def test_random_module_alias_flagged(self):
+        src = "import random as r\n\ndef f():\n    return r.random()\n"
+        found = lint_source(src, "sig/ecdsa.py")
+        # the import itself AND the aliased attribute use are both caught
+        assert len(found) == 2
+        assert checks(found) == {"random-module"}
+        assert {f.where for f in found} == {
+            "sig/ecdsa.py:<module>",
+            "sig/ecdsa.py:f",
+        }
 
-    def test_raw_mod_attribute_modulus_flagged(self):
+    def test_direct_time_module_alias_flagged(self):
+        src = "import time as t\n\ndef f():\n    return t.perf_counter()\n"
+        (f,) = lint_source(src, "core/util.py")
+        assert f.check == "direct-time"
+
+    def test_direct_time_name_alias_flagged(self):
         src = (
-            "def f(self, xs):\n"
-            "    for x in xs:\n"
-            "        x = x * x % self.p\n"
-            "    return x\n"
+            "from time import perf_counter as pc\n\n"
+            "def f():\n"
+            "    return pc()\n"
+        )
+        found = lint_source(src, "engine/core.py")
+        assert checks(found) == {"direct-time"}
+
+    def test_inv_in_loop_through_alias(self):
+        # `from ..field import inv as finv` must still count as an inverse
+        src = (
+            "from repro.field import inv as finv\n\n"
+            "def f(xs):\n"
+            "    return [finv(x) for x in xs]\n"
         )
         (f,) = lint_source(src, "engine/demo.py")
-        assert f.check == "raw-mod-in-hot-loop"
+        assert f.check == "inv-in-loop"
 
-    def test_raw_mod_not_flagged_outside_hot_modules(self):
+    def test_alias_does_not_false_positive(self):
+        # an alias that shadows a flagged name with a harmless target is fine
         src = (
-            "def f(xs, p):\n"
-            "    for x in xs:\n"
-            "        x = x * x % p\n"
-            "    return x\n"
+            "from os.path import join as perf_counter\n\n"
+            "def f(a, b):\n"
+            "    return perf_counter(a, b)\n"
         )
-        assert lint_source(src, "gadgets/demo.py") == []
-        assert lint_source(src, "analysis/demo.py") == []
-
-    def test_raw_mod_not_flagged_outside_loops_or_for_other_names(self):
-        outside = "def f(x, p):\n    return x * x % p\n"
-        assert lint_source(outside, "engine/demo.py") == []
-        other = (
-            "def f(xs, radix):\n"
-            "    for x in xs:\n"
-            "        x = x % radix\n"
-            "    return x\n"
-        )
-        assert lint_source(other, "engine/demo.py") == []
-
-    def test_wire_bypass_import_flagged(self):
-        src = "from repro.x509.san import decode_proof_sans\n"
-        (f,) = lint_source(src, "core/client.py")
-        assert (f.check, f.severity) == ("wire-bypass", "error")
-        assert "repro.wire" in f.message
-
-    def test_wire_bypass_call_flagged(self):
-        src = (
-            "def attack(proof, domain):\n"
-            "    return encode_proof_sans(proof, domain)\n"
-        )
-        (f,) = lint_source(src, "analysis/scenarios.py")
-        assert f.check == "wire-bypass"
-        src = (
-            "import repro.groth16.serialize as s\n\n"
-            "def f(data):\n"
-            "    return s.proof_from_bytes(data)\n"
-        )
-        findings = [
-            f for f in lint_source(src, "core/backend.py")
-            if f.check == "wire-bypass"
-        ]
-        assert len(findings) == 1
-
-    def test_wire_bypass_exempt_in_wire_layers(self):
-        src = (
-            "from .serialize import proof_to_bytes\n\n"
-            "def f(proof):\n"
-            "    return proof_to_bytes(proof)\n"
-        )
-        for relpath in ("wire/registry.py", "groth16/__init__.py",
-                        "x509/san.py", "x509/__init__.py"):
-            assert lint_source(src, relpath) == []
-
-    def test_wire_api_not_flagged(self):
-        # the sanctioned envelope API is fine anywhere
-        src = (
-            "from repro.wire import extract_proof, envelope_to_sans\n\n"
-            "def f(sans, domain):\n"
-            "    return extract_proof(sans, domain)\n"
-        )
-        assert lint_source(src, "core/client.py") == []
+        assert lint_source(src, "core/util.py") == []
 
 
 # -- baseline gating ----------------------------------------------------------
