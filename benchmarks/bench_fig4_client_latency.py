@@ -19,6 +19,24 @@ from repro.x509.validate import chain_wire_size
 _report = {}
 
 
+def replay(config):
+    """Run-certificate replay core: the bytes-on-the-wire arithmetic this
+    figure is about, over a fixed proof body (the timed verify paths need
+    the session-scoped groth16 world and secrets-generated TLS keys, which
+    a deterministic replay cannot reproduce)."""
+    from repro.wire import KIND_SIMULATION, VERSION_PRODUCTION, envelope_to_sans, seal
+
+    body = bytes(i % 251 for i in range(128))
+    env = seal(KIND_SIMULATION, VERSION_PRODUCTION, body, "nope-tools",
+               shape_id="bench/fig4")
+    sans = envelope_to_sans(env)
+    return {
+        "san_labels": len(sans),
+        "encoded_proof_bytes": sum(len(s) for s in sans),
+        "raw_proof_bytes": len(body),
+    }
+
+
 def _legacy_chain(world):
     if "legacy_chain" not in world:
         zone = world["hierarchy"].zones[world["prover"].domain]

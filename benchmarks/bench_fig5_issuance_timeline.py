@@ -14,6 +14,21 @@ from repro.profiles import PRODUCTION, TOY
 from repro.sig import EcdsaPrivateKey
 
 
+def replay(config):
+    """Run-certificate replay core: the toy-scale statement count and its
+    model projection (the timeline itself needs the session-scoped
+    groth16 world, whose trusted setup a replay cannot afford — and whose
+    secrets-based randomness it could not reproduce anyway; the
+    production-scale count is minutes of synthesis, too slow to run twice
+    per replay)."""
+    m = count_statement(TOY, "example.com", "nope", "nope")
+    return {
+        "toy_m": m,
+        "projected_prove_s": PAPER_MODEL.prove_seconds(m),
+        "projected_prove_gb": PAPER_MODEL.prove_gigabytes(m),
+    }
+
+
 def test_nope_proof_generation(benchmark, groth16_world):
     w = groth16_world
     prover = w["prover"]

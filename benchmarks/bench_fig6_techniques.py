@@ -18,6 +18,18 @@ from repro.costmodel import LEVELS, PAPER_MODEL, count_statement, figure6_counts
 from repro.profiles import TOY
 
 
+def replay(config):
+    """Run-certificate replay core: the exact toy-scale ablation counts
+    plus the paper-model projections — deterministic synthesis."""
+    rows = figure6_counts(TOY, "example.com")
+    return {
+        "levels": {name: m for name, m in rows},
+        "projected_prove_s": {
+            name: PAPER_MODEL.prove_seconds(m) for name, m in rows
+        },
+    }
+
+
 @pytest.fixture(scope="module")
 def toy_rows():
     return figure6_counts(TOY, "example.com")

@@ -28,6 +28,26 @@ def cost_of(builder):
     return cs.num_constraints
 
 
+def replay(config):
+    """Run-certificate replay core: every ablated gadget cost this module
+    measures, via the same counting-only systems — deterministic."""
+    costs = {}
+    for length in (32, 128, 512):
+        costs["mask/%d" % length] = cost_of(
+            lambda cs: mask(cs, _arr(cs, length), cs.alloc(3))
+        )
+        costs["mask_naive/%d" % length] = cost_of(
+            lambda cs: mask_naive(cs, _arr(cs, length), cs.alloc(3))
+        )
+    for msg_len, out_len in ((64, 8), (256, 16), (512, 32)):
+        def run_nope(cs):
+            buf = alloc_bytes(cs, bytes(msg_len), range_check=False)
+            slice_gadget(cs, buf, cs.alloc(5), out_len)
+
+        costs["slice/%d/%d" % (msg_len, out_len)] = cost_of(run_nope)
+    return {"constraint_costs": costs}
+
+
 def _arr(cs, n):
     return [cs.alloc(i % 251) for i in range(n)]
 

@@ -72,20 +72,31 @@ def _fixed_rng():
     return lambda: vals.pop(0)
 
 
-def compare_engines(m, workers, rounds=1):
+def compare_engines(m, workers, rounds=1, seed=None):
     """Time the prover on the serial engine vs a workers=N pool engine.
 
     Returns (serial_seconds, parallel_seconds, proof_bytes); raises if the
     two engines disagree on the proof (they must be byte-identical — group
     arithmetic is exact, so re-association cannot change the result).
+
+    ``seed`` pins the CRS and warm-up proof randomness to a private PRNG
+    (the timed proves already use fixed scalars), making the run's metric
+    counts — and therefore its run certificate — deterministically
+    replayable.  Unseeded runs keep the ``secrets`` default.
     """
+    rng = None
+    if seed is not None:
+        import random
+
+        state = random.Random(seed)
+        rng = lambda: state.randrange(1, BN254_R)
     cs = chain_circuit(m)
-    pk, vk, _ = setup(cs)
+    pk, vk, _ = setup(cs, rng=rng)
     parallel = Engine(EngineConfig(workers=workers))
     try:
         # warm the prepared-key cache and the worker pool outside the timers
-        prove(pk, cs)
-        prove(pk, cs, engine=parallel)
+        prove(pk, cs, rng=rng)
+        prove(pk, cs, rng=rng, engine=parallel)
 
         with span("bench.prove.serial", m=m, rounds=rounds):
             t0 = perf()
@@ -108,6 +119,22 @@ def compare_engines(m, workers, rounds=1):
         parallel.close()
 
 
+def replay(config):
+    """Deterministic re-execution core for run certificates (certs from
+    seeded runs replay strictly; unseeded ones only structurally)."""
+    m = config.get("m", 1024)
+    workers = config.get("workers", 2)
+    serial_s, parallel_s, proof_bytes = compare_engines(
+        m, workers, seed=config.get("seed")
+    )
+    return {
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s else float("inf"),
+        "proof_bytes": len(proof_bytes),
+    }
+
+
 def main(argv=None):
     import argparse
 
@@ -121,6 +148,8 @@ def main(argv=None):
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("-m", type=int, default=None,
                         help="constraint-chain length (default 96 smoke / 1024)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="pin CRS/warm-up randomness (strict replay)")
     parser.add_argument("--trace", action="store_true",
                         help="enable span tracing and print the span tree")
     parser.add_argument("--no-record", action="store_true",
@@ -135,7 +164,9 @@ def main(argv=None):
     m = args.m or (96 if args.smoke else 1024)
     if args.trace:
         telemetry.enable()
-    serial_s, parallel_s, proof_bytes = compare_engines(m, args.workers)
+    serial_s, parallel_s, proof_bytes = compare_engines(
+        m, args.workers, seed=args.seed
+    )
     speedup = serial_s / parallel_s if parallel_s else float("inf")
     print(f"chain_circuit(m={m}), proof = {len(proof_bytes)} bytes")
     print(f"  prove, serial engine:       {serial_s:8.3f} s")
@@ -147,7 +178,7 @@ def main(argv=None):
         print(telemetry.render_trace())
     if not args.no_record:
         config = {"m": m, "workers": args.workers, "smoke": args.smoke,
-                  "trace": args.trace}
+                  "trace": args.trace, "seed": args.seed}
         results = {"serial_s": serial_s, "parallel_s": parallel_s,
                    "speedup": speedup, "proof_bytes": len(proof_bytes)}
         print("wrote %s" % write_bench_record("groth16", config, results))

@@ -104,11 +104,22 @@ def _best(fn, rounds):
     return best
 
 
-def check_proof_parity(keyed_m, workers):
+def _seeded_rng(seed):
+    """Zero-arg BN254 scalar sampler over a private PRNG (None -> None,
+    keeping the ``secrets`` default for unseeded runs)."""
+    if seed is None:
+        return None
+    import random
+
+    state = random.Random(seed)
+    return lambda: state.randrange(1, BN254_R)
+
+
+def check_proof_parity(keyed_m, workers, rng=None):
     """Legacy LC, compiled serial, and compiled parallel proofs must be
     byte-identical for the same randomness; returns the proof bytes."""
     cs = keyed_circuit(keyed_m)
-    pk, vk, _ = setup(cs)
+    pk, vk, _ = setup(cs, rng=rng)
     parallel = Engine(EngineConfig(workers=workers, min_parallel_rows=1))
     try:
         p_legacy = prove(pk, cs, rng=_fixed_rng(), use_compiled=False)
@@ -125,7 +136,8 @@ def check_proof_parity(keyed_m, workers):
         parallel.close()
 
 
-def run(m, keyed_m, workers, rounds):
+def run(m, keyed_m, workers, rounds, seed=None):
+    rng = _seeded_rng(seed)
     eng = Engine()
 
     with span("bench.synthesize", m=m):
@@ -175,8 +187,8 @@ def run(m, keyed_m, workers, rounds):
     # MSM-dominated tail, on a circuit small enough to run setup
     with span("bench.keyed_setup", keyed_m=keyed_m):
         kcs = keyed_circuit(keyed_m)
-        pk, _, _ = setup(kcs)
-        prove(pk, kcs)  # warm the prepared-key and compiled caches
+        pk, _, _ = setup(kcs, rng=rng)
+        prove(pk, kcs, rng=rng)  # warm the prepared-key and compiled caches
     keyed_eval_s = _best(lambda i: eng.evaluate_r1cs(kcs), rounds)
     keyed_fft_s = _best(
         lambda i: compute_h_coefficients(
@@ -187,7 +199,7 @@ def run(m, keyed_m, workers, rounds):
     prove_s = _best(lambda i: prove(pk, kcs, rng=_fixed_rng()), rounds)
     msm_s = max(prove_s - keyed_eval_s - keyed_fft_s, 0.0)
 
-    proof_bytes = check_proof_parity(keyed_m, workers)
+    proof_bytes = check_proof_parity(keyed_m, workers, rng=rng)
 
     print(
         "statement-like circuit: m=%d constraints, nnz=%d (A+B+C)"
@@ -221,16 +233,20 @@ def run(m, keyed_m, workers, rounds):
     return results
 
 
-def overhead_gate(keyed_m, rounds, limit=0.05):
+def overhead_gate(keyed_m, rounds, limit=0.05, seed=None):
     """Enabled-vs-disabled tracing overhead on the smoke prove path.
 
     Proves the same warmed keyed circuit with tracing off, then on, taking
     the best of ``rounds`` each; fails if enabling tracing costs more than
     ``limit`` (fractional).  Returns (disabled_s, enabled_s, overhead).
+    Replay passes ``limit=inf``: under a fake clock the enabled path's
+    extra clock reads dominate the "timings", so the ratio is meaningless
+    there — only the metric counts are being re-verified.
     """
+    rng = _seeded_rng(seed)
     kcs = keyed_circuit(keyed_m)
-    pk, _, _ = setup(kcs)
-    prove(pk, kcs)  # warm every cache before either timing
+    pk, _, _ = setup(kcs, rng=rng)
+    prove(pk, kcs, rng=rng)  # warm every cache before either timing
     was_enabled = telemetry.is_enabled()
     telemetry.disable()
     disabled_s = _best(lambda i: prove(pk, kcs, rng=_fixed_rng()), rounds)
@@ -253,6 +269,29 @@ def overhead_gate(keyed_m, rounds, limit=0.05):
     return disabled_s, enabled_s, overhead
 
 
+def replay(config):
+    """Deterministic re-execution core for run certificates.
+
+    Mirrors ``main``'s traced path exactly (outer span included) so a
+    traced certificate's span structure reproduces.  The overhead gate is
+    re-run for its metric counts but with ``limit=inf`` — fake-clock
+    "timings" cannot meaningfully gate overhead.
+    """
+    m = config.get("m", 20000)
+    keyed_m = config.get("keyed_m", 512)
+    workers = config.get("workers", 2)
+    rounds = config.get("rounds", 3)
+    with span("bench.prover_pipeline", m=m, keyed_m=keyed_m, workers=workers):
+        results = run(m, keyed_m, workers, rounds, seed=config.get("seed"))
+    if config.get("overhead_gate"):
+        gate = overhead_gate(keyed_m, max(rounds, 3), limit=float("inf"),
+                             seed=config.get("seed"))
+        results["overhead_gate"] = {
+            "disabled_s": gate[0], "enabled_s": gate[1], "overhead": gate[2],
+        }
+    return results
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Prover pipeline stage timings and compiled-path gates"
@@ -266,6 +305,8 @@ def main(argv=None):
                         help="keyed-circuit chain length (default 96 / 512)")
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="pin CRS/warm-up randomness (strict replay)")
     parser.add_argument("--trace", action="store_true",
                         help="enable span tracing and print the span tree")
     parser.add_argument("--no-record", action="store_true",
@@ -280,9 +321,9 @@ def main(argv=None):
         telemetry.enable()
     with span("bench.prover_pipeline", m=m, keyed_m=keyed_m,
               workers=args.workers):
-        results = run(m, keyed_m, args.workers, args.rounds)
+        results = run(m, keyed_m, args.workers, args.rounds, seed=args.seed)
     if args.overhead_gate:
-        gate = overhead_gate(keyed_m, max(args.rounds, 3))
+        gate = overhead_gate(keyed_m, max(args.rounds, 3), seed=args.seed)
         results["overhead_gate"] = {
             "disabled_s": gate[0], "enabled_s": gate[1], "overhead": gate[2],
         }
@@ -293,6 +334,7 @@ def main(argv=None):
         config = {
             "m": m, "keyed_m": keyed_m, "workers": args.workers,
             "rounds": args.rounds, "smoke": args.smoke, "trace": args.trace,
+            "seed": args.seed, "overhead_gate": args.overhead_gate,
         }
         path = write_bench_record("prover_pipeline", config, results)
         print("wrote %s" % path)

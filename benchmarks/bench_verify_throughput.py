@@ -96,11 +96,22 @@ def cubic_system(w_val):
     return cs
 
 
-def make_batch(batch_size):
-    """One key pair plus ``batch_size`` proofs over distinct public inputs."""
+def make_batch(batch_size, seed=None):
+    """One key pair plus ``batch_size`` proofs over distinct public inputs.
+
+    ``seed`` pins the CRS and per-proof randomness to a private PRNG so
+    the run's metric counts replay deterministically; unseeded runs keep
+    the ``secrets`` default.
+    """
+    rng = None
+    if seed is not None:
+        import random
+
+        state = random.Random(seed)
+        rng = lambda: state.randrange(1, R)
     systems = [cubic_system(3 + i) for i in range(batch_size)]
-    pk, vk, _ = setup(systems[0])
-    proofs = [prove(pk, cs) for cs in systems]
+    pk, vk, _ = setup(systems[0], rng=rng)
+    proofs = [prove(pk, cs, rng=rng) for cs in systems]
     publics = [cs.public_inputs() for cs in systems]
     return vk, proofs, publics
 
@@ -170,9 +181,9 @@ def bench_cached_lookup(rounds=10000):
     return (perf() - t0) / rounds
 
 
-def run(batch_size, workers, rounds):
+def run(batch_size, workers, rounds, seed=None):
     print("generating %d proofs..." % batch_size)
-    vk, proofs, publics = make_batch(batch_size)
+    vk, proofs, publics = make_batch(batch_size, seed=seed)
     pvk = prepare(vk)
     parallel = Engine(EngineConfig(workers=workers))
     try:
@@ -238,6 +249,18 @@ def run(batch_size, workers, rounds):
         parallel.close()
 
 
+def replay(config):
+    """Deterministic re-execution core for run certificates (certs from
+    seeded runs replay strictly; unseeded ones only structurally)."""
+    _, results = run(
+        config.get("batch", 16),
+        config.get("workers", 2),
+        config.get("rounds", 3),
+        seed=config.get("seed"),
+    )
+    return results
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Verifier throughput: naive/prepared/batched/cached"
@@ -247,6 +270,8 @@ def main(argv=None):
     parser.add_argument("--batch", type=int, default=16)
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="pin CRS/proof randomness (strict replay)")
     parser.add_argument("--trace", action="store_true",
                         help="enable span tracing and print the span tree")
     parser.add_argument("--no-record", action="store_true",
@@ -266,13 +291,14 @@ def main(argv=None):
         telemetry.enable()
     # the reference value must be read before write_bench_record replaces it
     reference = recorded_speedup()
-    speedup, results = run(args.batch, args.workers, rounds)
+    speedup, results = run(args.batch, args.workers, rounds, seed=args.seed)
     if args.trace:
         print()
         print(telemetry.render_trace())
     if not args.no_record:
         config = {"batch": args.batch, "workers": args.workers,
-                  "rounds": rounds, "smoke": args.smoke, "trace": args.trace}
+                  "rounds": rounds, "smoke": args.smoke, "trace": args.trace,
+                  "seed": args.seed}
         print("wrote %s"
               % write_bench_record("verify_throughput", config, results))
     if args.no_regress:

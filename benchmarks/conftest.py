@@ -22,8 +22,14 @@ def pytest_sessionfinish(session, exitstatus):
 
     Mirrors the structured records the script-style benches write, so every
     bench run — pytest or direct — leaves a machine-readable artifact.
-    Guarded defensively: absent or drifted pytest-benchmark internals must
-    never fail the bench session itself.
+    ``write_bench_record`` also emits each module's chained
+    ``CERT_<module>.json`` run certificate; because the metrics snapshot in
+    a pytest-session record spans every module that ran, these certificates
+    are *structural* replay targets (``python -m repro.telemetry replay``
+    re-executes the module's ``replay(config)`` core twice and requires the
+    two executions to agree bit-identically, rather than matching the
+    session-wide snapshot).  Guarded defensively: absent or drifted
+    pytest-benchmark internals must never fail the bench session itself.
     """
     bench_session = getattr(session.config, "_benchmarksession", None)
     benchmarks = getattr(bench_session, "benchmarks", None)

@@ -16,10 +16,35 @@ All time reads flow through :mod:`.clocks`; install a
 timeline — deterministic.
 
 Run ``python -m repro.telemetry`` for a traced miniature prover pipeline.
+
+PR 10 adds **run certificates** (:mod:`.certify`): every bench run emits a
+hash-committed, chained certificate; ``python -m repro.telemetry replay``
+re-verifies the deterministic portions bit-identically under a fake
+clock, and ``... trajectory`` gates current records against the
+checked-in ``benchmarks/history`` chains.
 """
 
 from . import clocks, export, metrics
-from .bench import build_record, git_rev, validate_file, write_bench_record
+from .bench import (
+    build_record,
+    git_rev,
+    validate_file,
+    validate_metrics_consistency,
+    write_bench_record,
+)
+from .certify import (
+    GENESIS,
+    append_history,
+    build_certificate,
+    certify_record,
+    compare_to_head,
+    load_certificate,
+    replay_certificate,
+    run_trajectory,
+    validate_certificate,
+    verify_history,
+    write_certificate,
+)
 from .clocks import get_clock, set_clock, use_clock
 from .export import (
     metrics_signature,
@@ -50,6 +75,7 @@ def reset():
 
 
 __all__ = [
+    "GENESIS",
     "REGISTRY",
     "TRACER",
     "NOOP_SPAN",
@@ -57,7 +83,18 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Span",
+    "append_history",
+    "build_certificate",
     "build_record",
+    "certify_record",
+    "compare_to_head",
+    "load_certificate",
+    "replay_certificate",
+    "run_trajectory",
+    "validate_certificate",
+    "validate_metrics_consistency",
+    "verify_history",
+    "write_certificate",
     "clocks",
     "disable",
     "enable",

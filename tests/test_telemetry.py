@@ -476,3 +476,62 @@ class TestCacheStats:
         assert line.startswith("verification-cache: hits=0 misses=0")
         no_cache = NopeClient(TOY, [])
         assert no_cache.log_cache_summary() == ""
+
+
+class TestExporterEscaping:
+    """Satellite coverage: exposition-name escaping and signature
+    stability under registration-order permutation."""
+
+    def test_prometheus_escapes_every_illegal_character(self):
+        reg = MetricsRegistry()
+        reg.counter("msm.calls-per second/core%").inc(1)
+        text = render_prometheus(reg.snapshot())
+        assert "# TYPE repro_msm_calls_per_second_core_ gauge" in text
+        assert "repro_msm_calls_per_second_core_ 1" in text
+        for ch in ".-/% ":
+            assert ch not in text.split("\n")[1].split(" ")[0]
+
+    def test_prometheus_histogram_escaping_and_inf_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("fft.size@radix-2", bounds=(4,))
+        h.observe(2)
+        h.observe(100)
+        text = render_prometheus(reg.snapshot())
+        assert "# TYPE repro_fft_size_radix_2 histogram" in text
+        assert 'repro_fft_size_radix_2_bucket{le="4"} 1' in text
+        assert 'repro_fft_size_radix_2_bucket{le="+Inf"} 2' in text
+        assert "repro_fft_size_radix_2_count 2" in text
+
+    def test_prometheus_custom_prefix(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc(1)
+        assert render_prometheus(reg.snapshot(), prefix="nope").startswith(
+            "# TYPE nope_x gauge"
+        )
+
+    def test_signature_stable_under_registration_order(self):
+        def populate(reg, order):
+            for name in order:
+                if name == "fft.size":
+                    h = reg.histogram("fft.size", bounds=(4, 16))
+                    h.observe(3)
+                    h.observe(12)
+                else:
+                    reg.counter(name).inc(len(name))
+
+        names = ["msm.calls", "field.mont_muls", "fft.size", "r1cs.rows"]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        populate(forward, names)
+        populate(backward, list(reversed(names)))
+        assert metrics_signature(forward.snapshot()) == metrics_signature(
+            backward.snapshot()
+        )
+
+    def test_prometheus_stable_under_registration_order(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        for reg, order in ((first, ("b", "a")), (second, ("a", "b"))):
+            for name in order:
+                reg.counter(name).inc(1)
+        assert render_prometheus(first.snapshot()) == render_prometheus(
+            second.snapshot()
+        )
